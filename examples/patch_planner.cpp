@@ -1,0 +1,75 @@
+// Patch planner: given a redundancy design, compare patch cadences and
+// report the availability cost of each schedule together with the security
+// exposure window (how long critical vulnerabilities stay unpatched on
+// average).
+//
+// Usage: patch_planner [dns web app db]   (default 1 2 2 1, the paper network)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "patchsec/avail/aggregation.hpp"
+#include "patchsec/avail/network_srn.hpp"
+#include "patchsec/core/evaluation.hpp"
+
+namespace av = patchsec::avail;
+namespace ent = patchsec::enterprise;
+
+int main(int argc, char** argv) {
+  ent::RedundancyDesign design = ent::example_network_design();
+  if (argc == 5) {
+    for (int i = 0; i < 4; ++i) {
+      const int n = std::atoi(argv[i + 1]);
+      if (n < 0 || n > 6) {
+        std::fprintf(stderr, "tier counts must be in 0..6\n");
+        return 1;
+      }
+      design.counts[i] = static_cast<unsigned>(n);
+    }
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [dns web app db]\n", argv[0]);
+    return 1;
+  }
+
+  const auto specs = ent::paper_server_specs();
+  std::printf("Patch planning for design: %s\n\n", design.name().c_str());
+
+  struct Cadence {
+    const char* name;
+    double hours;
+  };
+  const Cadence cadences[] = {{"daily", 24.0},       {"weekly", 168.0},
+                              {"fortnightly", 336.0}, {"monthly (paper)", 720.0},
+                              {"bimonthly", 1440.0},  {"quarterly", 2160.0}};
+
+  std::printf("%-18s %10s %12s %16s %18s\n", "cadence", "interval", "COA",
+              "downtime h/year", "mean exposure (h)");
+  for (const Cadence& c : cadences) {
+    std::map<ent::ServerRole, av::AggregatedRates> rates;
+    double per_server_downtime_year = 0.0;
+    unsigned servers = 0;
+    for (const auto& [role, spec] : specs) {
+      if (design.count(role) == 0) continue;
+      const av::AggregatedRates r = av::aggregate_server(spec, c.hours);
+      rates.emplace(role, r);
+      const double cycles_per_year = 8760.0 / (c.hours + r.mttr_hours());
+      per_server_downtime_year += cycles_per_year * r.mttr_hours() * design.count(role);
+      servers += design.count(role);
+    }
+    const double coa = av::capacity_oriented_availability(design, rates);
+    // A vulnerability disclosed uniformly at random inside a cycle waits on
+    // average half the patch interval before removal.
+    const double exposure = c.hours / 2.0;
+    std::printf("%-18s %8.0f h %12.6f %16.2f %18.1f\n", c.name, c.hours, coa,
+                per_server_downtime_year, exposure);
+    (void)servers;
+  }
+
+  std::printf(
+      "\nReading: the schedule trades the security exposure window (halved with each\n"
+      "doubling of cadence) against capacity-oriented availability and yearly patch\n"
+      "downtime.  Redundant tiers absorb most of the COA loss; compare a run with\n"
+      "'%s 1 1 1 1'.\n",
+      argv[0]);
+  return 0;
+}

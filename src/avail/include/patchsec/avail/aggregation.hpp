@@ -1,0 +1,47 @@
+#pragma once
+// Aggregation of the lower-layer server SRN into the two-state (up / down-
+// due-to-patch) abstraction used by the network model (paper Sec. III-D2,
+// Eqs. (1)-(2), Table V):
+//
+//   lambda_eq = tau_p                                  (Eq. 1)
+//   mu_eq     = beta_svc * p_prrb / p_pd               (Eq. 2)
+//
+// where p_pd is the steady-state probability that the service is down due to
+// patching and p_prrb the probability that the service-reboot transition is
+// enabled (service ready to reboot, OS and hardware back up).
+
+#include "patchsec/avail/server_srn.hpp"
+#include "patchsec/enterprise/server.hpp"
+
+namespace patchsec::avail {
+
+/// Aggregated per-service rates (one row of Table V).
+struct AggregatedRates {
+  double lambda_eq = 0.0;  ///< patch rate (1/h).
+  double mu_eq = 0.0;      ///< recovery rate (1/h).
+  double p_patch_down = 0.0;
+  double p_reboot_enabled = 0.0;
+
+  /// Mean time to patch (hours) = 1/lambda_eq.
+  [[nodiscard]] double mttp_hours() const { return 1.0 / lambda_eq; }
+  /// Mean time to recovery (hours) = 1/mu_eq.
+  [[nodiscard]] double mttr_hours() const { return 1.0 / mu_eq; }
+};
+
+/// Build the server SRN, solve its steady state and aggregate.  The
+/// closed-form sanity bound: mu_eq ~= 1 / (patch + reboot durations).
+[[nodiscard]] AggregatedRates aggregate_server(const enterprise::ServerSpec& spec,
+                                               double patch_interval_hours = 720.0);
+
+/// Aggregate under explicit policy options (campaign stages, reboot-free
+/// patches).  Throws std::domain_error when the options leave nothing to
+/// patch in a cycle.
+[[nodiscard]] AggregatedRates aggregate_server(const enterprise::ServerSpec& spec,
+                                               const ServerSrnOptions& options);
+
+/// Closed-form approximation of mu_eq ignoring failures (the patch phases in
+/// sequence): 1 / (1/alpha_svc + 1/alpha_os + 1/beta_os + 1/beta_svc).
+/// Exposed as a test oracle and for quick what-if sweeps.
+[[nodiscard]] double mu_eq_closed_form(const enterprise::ServerSpec& spec);
+
+}  // namespace patchsec::avail

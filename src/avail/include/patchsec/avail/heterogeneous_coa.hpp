@@ -1,0 +1,45 @@
+#pragma once
+// Capacity-oriented availability for heterogeneous redundancy: every server
+// instance carries its own aggregated patch/recovery rates, so tiers are no
+// longer exchangeable token pools.  The upper-layer SRN gets one up/down
+// place pair per instance; the COA reward generalizes Table VI (fraction of
+// running servers, zero when any deployed tier is completely down).
+
+#include <vector>
+
+#include "patchsec/avail/aggregation.hpp"
+#include "patchsec/enterprise/heterogeneous.hpp"
+#include "patchsec/petri/srn_model.hpp"
+
+namespace patchsec::avail {
+
+/// Per-instance aggregated rates.
+struct InstanceRates {
+  enterprise::ServerRole role = enterprise::ServerRole::kWeb;
+  AggregatedRates rates;
+};
+
+struct HeterogeneousNetworkSrn {
+  petri::SrnModel model;
+  std::vector<petri::PlaceId> up_places;  ///< parallel to the instance list.
+  std::vector<enterprise::ServerRole> roles;
+
+  [[nodiscard]] petri::RewardFunction coa_reward() const;
+};
+
+/// Build the per-instance upper-layer SRN.
+[[nodiscard]] HeterogeneousNetworkSrn build_heterogeneous_srn(
+    const std::vector<InstanceRates>& instances);
+
+/// COA from per-instance rates (SRN steady state).
+[[nodiscard]] double heterogeneous_coa(const std::vector<InstanceRates>& instances);
+
+/// Independent closed form (instances are independent 2-state chains);
+/// exact for this model class and used as a test oracle.
+[[nodiscard]] double heterogeneous_coa_closed_form(const std::vector<InstanceRates>& instances);
+
+/// End-to-end: aggregate every instance's lower-layer SRN, then compute COA.
+[[nodiscard]] double heterogeneous_coa(const enterprise::HeterogeneousNetwork& network,
+                                       double patch_interval_hours = 720.0);
+
+}  // namespace patchsec::avail

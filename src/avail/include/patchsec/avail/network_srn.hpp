@@ -1,0 +1,72 @@
+#pragma once
+// Upper-layer SRN for the whole network (paper Fig. 4): per service tier one
+// pair of places (up / down-due-to-patch) initially holding as many tokens as
+// the tier has servers.  The patch ("down") transition has the
+// marking-dependent rate lambda_eq * #Pup; recovery proceeds independently
+// per server (mu_eq * #Pdown).  Capacity-oriented availability is the
+// expected steady-state reward of Table VI, generalized to any design:
+//
+//   reward(m) = (sum of up servers) / (total servers)  if every tier has at
+//               least one server up, else 0.
+
+#include <map>
+
+#include "patchsec/avail/aggregation.hpp"
+#include "patchsec/enterprise/design.hpp"
+#include "patchsec/petri/srn_model.hpp"
+
+namespace patchsec::avail {
+
+struct NetworkSrn {
+  petri::SrnModel model;
+  /// Per role: the "service up" place (token count = running servers).
+  std::map<enterprise::ServerRole, petri::PlaceId> up_places;
+  /// Per role: the "down due to patch" place.
+  std::map<enterprise::ServerRole, petri::PlaceId> down_places;
+  enterprise::RedundancyDesign design;
+
+  /// The Table VI reward: fraction of running servers, zero when any tier is
+  /// completely down (the service as a whole is unavailable).
+  [[nodiscard]] petri::RewardFunction coa_reward() const;
+};
+
+/// Build the Fig. 4 upper-layer SRN for a design from per-role aggregated
+/// rates.
+[[nodiscard]] NetworkSrn build_network_srn(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates);
+
+/// Capacity-oriented availability of a design: lower-layer aggregation per
+/// role followed by the upper-layer steady-state reward.  This is the
+/// end-to-end Table VI computation.
+[[nodiscard]] double capacity_oriented_availability(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, enterprise::ServerSpec>& specs,
+    double patch_interval_hours = 720.0);
+
+/// Same, but from precomputed aggregated rates (used when sweeping designs so
+/// the lower-layer SRNs are solved once).
+[[nodiscard]] double capacity_oriented_availability(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates);
+
+/// Closed-form cross-check using independent birth-death chains per tier
+/// (valid because tiers are independent in the upper model).
+[[nodiscard]] double coa_closed_form(const enterprise::RedundancyDesign& design,
+                                     const std::map<enterprise::ServerRole, AggregatedRates>& rates);
+
+/// Ablation variant: *synchronized* patching — a tier's servers are all
+/// patched in the same maintenance window (the whole tier goes down at rate
+/// lambda_eq and comes back at mu_eq), instead of the paper's independent
+/// per-server patch clocks.  Deliberately pessimistic: redundancy buys no
+/// availability during patching under this policy.
+[[nodiscard]] NetworkSrn build_network_srn_synchronized(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates);
+
+/// COA under synchronized patching.
+[[nodiscard]] double capacity_oriented_availability_synchronized(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates);
+
+}  // namespace patchsec::avail

@@ -1,0 +1,39 @@
+#pragma once
+// Transient availability analysis: the COA trajectory after a patch event,
+// computed by uniformization on the upper-layer CTMC.  Answers "how deep is
+// the capacity dip when patch day hits, and how fast does it heal?" — a
+// question the steady-state COA of the paper averages away.
+
+#include <map>
+#include <vector>
+
+#include "patchsec/avail/network_srn.hpp"
+
+namespace patchsec::avail {
+
+/// One point of the COA(t) curve.
+struct CoaPoint {
+  double hours = 0.0;
+  double coa = 0.0;
+};
+
+/// Expected COA at the given time points, starting from a marking where
+/// `initial_down` servers of each role are down for patching (clamped to the
+/// tier size).  Time 0 reflects the initial dip; as t grows the curve
+/// approaches the steady-state COA.
+[[nodiscard]] std::vector<CoaPoint> transient_coa_curve(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates,
+    const std::map<enterprise::ServerRole, unsigned>& initial_down,
+    const std::vector<double>& time_points_hours);
+
+/// Expected accumulated capacity shortfall (integral of steady-COA minus
+/// COA(t)) over [0, horizon] after the patch event — "lost server-fraction
+/// hours" of one patch wave.
+[[nodiscard]] double patch_dip_shortfall(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates,
+    const std::map<enterprise::ServerRole, unsigned>& initial_down, double horizon_hours,
+    std::size_t steps = 128);
+
+}  // namespace patchsec::avail

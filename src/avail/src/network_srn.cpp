@@ -1,0 +1,194 @@
+#include "patchsec/avail/network_srn.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "patchsec/linalg/steady_state.hpp"
+#include "patchsec/petri/reachability.hpp"
+
+namespace patchsec::avail {
+
+namespace {
+
+constexpr std::array<enterprise::ServerRole, enterprise::kRoleCount> kRoles{
+    enterprise::ServerRole::kDns, enterprise::ServerRole::kWeb, enterprise::ServerRole::kApp,
+    enterprise::ServerRole::kDb};
+
+}  // namespace
+
+petri::RewardFunction NetworkSrn::coa_reward() const {
+  // Capture plain values: (up-place id, tier size) pairs plus the total.
+  std::vector<std::pair<petri::PlaceId, unsigned>> tiers;
+  unsigned total = 0;
+  for (const auto& [role, place] : up_places) {
+    const unsigned n = design.count(role);
+    tiers.emplace_back(place, n);
+    total += n;
+  }
+  if (total == 0) throw std::logic_error("coa_reward: empty design");
+  return [tiers, total](const petri::Marking& m) -> double {
+    unsigned running = 0;
+    for (const auto& [place, n] : tiers) {
+      const petri::TokenCount up = m[place];
+      if (up == 0) return 0.0;  // a whole tier is down: no service
+      running += up;
+    }
+    return static_cast<double>(running) / static_cast<double>(total);
+  };
+}
+
+NetworkSrn build_network_srn(const enterprise::RedundancyDesign& design,
+                             const std::map<enterprise::ServerRole, AggregatedRates>& rates) {
+  NetworkSrn net;
+  net.design = design;
+  for (enterprise::ServerRole role : kRoles) {
+    const unsigned n = design.count(role);
+    if (n == 0) continue;
+    const auto it = rates.find(role);
+    if (it == rates.end()) {
+      throw std::invalid_argument(std::string("missing aggregated rates for role ") +
+                                  enterprise::to_string(role));
+    }
+    const double lambda = it->second.lambda_eq;
+    const double mu = it->second.mu_eq;
+    if (!(lambda > 0.0) || !(mu > 0.0)) {
+      throw std::invalid_argument("aggregated rates must be positive");
+    }
+    std::string base = enterprise::to_string(role);
+    const petri::PlaceId up = net.model.add_place("P" + base + "up", n);
+    const petri::PlaceId down = net.model.add_place("P" + base + "pd", 0);
+    net.up_places.emplace(role, up);
+    net.down_places.emplace(role, down);
+
+    // Patch: marking-dependent rate lambda * #Pup (paper Sec. III-D2).
+    net.model.add_timed_transition("T" + base + "d", [lambda, up](const petri::Marking& m) {
+      return lambda * static_cast<double>(m[up]);
+    });
+    const petri::TransitionId td = net.model.transition("T" + base + "d");
+    net.model.add_input_arc(td, up);
+    net.model.add_output_arc(td, down);
+    // Guard keeps the rate function positive: disabled at #Pup == 0 anyway
+    // through the input arc, but the rate function must not be evaluated at 0.
+    net.model.set_guard(td, [up](const petri::Marking& m) { return m[up] > 0; });
+
+    // Recovery: each patched server recovers independently (mu * #Ppd).
+    net.model.add_timed_transition("T" + base + "up", [mu, down](const petri::Marking& m) {
+      return mu * static_cast<double>(m[down]);
+    });
+    const petri::TransitionId tu = net.model.transition("T" + base + "up");
+    net.model.add_input_arc(tu, down);
+    net.model.add_output_arc(tu, up);
+    net.model.set_guard(tu, [down](const petri::Marking& m) { return m[down] > 0; });
+  }
+  if (net.up_places.empty()) throw std::invalid_argument("design deploys no servers");
+  return net;
+}
+
+double capacity_oriented_availability(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, enterprise::ServerSpec>& specs,
+    double patch_interval_hours) {
+  std::map<enterprise::ServerRole, AggregatedRates> rates;
+  for (enterprise::ServerRole role : kRoles) {
+    if (design.count(role) == 0) continue;
+    const auto it = specs.find(role);
+    if (it == specs.end()) {
+      throw std::invalid_argument(std::string("missing spec for role ") +
+                                  enterprise::to_string(role));
+    }
+    rates.emplace(role, aggregate_server(it->second, patch_interval_hours));
+  }
+  return capacity_oriented_availability(design, rates);
+}
+
+double capacity_oriented_availability(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates) {
+  const NetworkSrn net = build_network_srn(design, rates);
+  const petri::SrnAnalyzer analyzer(net.model);
+  return analyzer.expected_reward(net.coa_reward());
+}
+
+NetworkSrn build_network_srn_synchronized(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates) {
+  NetworkSrn net;
+  net.design = design;
+  for (enterprise::ServerRole role : kRoles) {
+    const unsigned n = design.count(role);
+    if (n == 0) continue;
+    const auto it = rates.find(role);
+    if (it == rates.end()) {
+      throw std::invalid_argument(std::string("missing aggregated rates for role ") +
+                                  enterprise::to_string(role));
+    }
+    std::string base = enterprise::to_string(role);
+    const petri::PlaceId up = net.model.add_place("P" + base + "up", n);
+    const petri::PlaceId down = net.model.add_place("P" + base + "pd", 0);
+    net.up_places.emplace(role, up);
+    net.down_places.emplace(role, down);
+
+    // The whole tier moves at once: arc multiplicity n, constant rates.
+    const petri::TransitionId td =
+        net.model.add_timed_transition("T" + base + "d", it->second.lambda_eq);
+    net.model.add_input_arc(td, up, n);
+    net.model.add_output_arc(td, down, n);
+    const petri::TransitionId tu =
+        net.model.add_timed_transition("T" + base + "up", it->second.mu_eq);
+    net.model.add_input_arc(tu, down, n);
+    net.model.add_output_arc(tu, up, n);
+  }
+  if (net.up_places.empty()) throw std::invalid_argument("design deploys no servers");
+  return net;
+}
+
+double capacity_oriented_availability_synchronized(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates) {
+  const NetworkSrn net = build_network_srn_synchronized(design, rates);
+  const petri::SrnAnalyzer analyzer(net.model);
+  return analyzer.expected_reward(net.coa_reward());
+}
+
+double coa_closed_form(const enterprise::RedundancyDesign& design,
+                       const std::map<enterprise::ServerRole, AggregatedRates>& rates) {
+  // Tiers are independent birth-death chains over #up = 0..n with
+  //   k -> k-1 at rate k*lambda,   k -> k+1 at rate (n-k)*mu.
+  // COA = (1/N) * sum_r E[up_r] * prod_{r' != r} P(up_{r'} > 0).
+  struct Tier {
+    double expected_up = 0.0;
+    double p_alive = 0.0;
+  };
+  std::vector<Tier> tiers;
+  unsigned total = 0;
+  for (enterprise::ServerRole role : kRoles) {
+    const unsigned n = design.count(role);
+    if (n == 0) continue;
+    const auto it = rates.find(role);
+    if (it == rates.end()) throw std::invalid_argument("coa_closed_form: missing rates");
+    std::vector<double> birth(n), death(n);
+    for (unsigned i = 0; i < n; ++i) {
+      birth[i] = static_cast<double>(n - i) * it->second.mu_eq;   // i up -> i+1 up
+      death[i] = static_cast<double>(i + 1) * it->second.lambda_eq;  // i+1 up -> i up
+    }
+    const std::vector<double> pi = linalg::birth_death_steady_state(birth, death);
+    Tier tier;
+    for (unsigned k = 0; k <= n; ++k) tier.expected_up += static_cast<double>(k) * pi[k];
+    tier.p_alive = 1.0 - pi[0];
+    tiers.push_back(tier);
+    total += n;
+  }
+  if (total == 0) throw std::invalid_argument("coa_closed_form: empty design");
+
+  double coa = 0.0;
+  for (std::size_t r = 0; r < tiers.size(); ++r) {
+    double term = tiers[r].expected_up;
+    for (std::size_t q = 0; q < tiers.size(); ++q) {
+      if (q != r) term *= tiers[q].p_alive;
+    }
+    coa += term;
+  }
+  return coa / static_cast<double>(total);
+}
+
+}  // namespace patchsec::avail

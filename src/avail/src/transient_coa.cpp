@@ -1,0 +1,87 @@
+#include "patchsec/avail/transient_coa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "patchsec/ctmc/transient.hpp"
+#include "patchsec/petri/reachability.hpp"
+
+namespace patchsec::avail {
+
+namespace {
+
+/// Build the chain once and return everything needed for transient rewards.
+struct Prepared {
+  petri::ReachabilityGraph graph;
+  std::vector<double> rewards;      // reward per tangible state
+  std::vector<double> initial;      // initial distribution
+  double steady_coa = 0.0;
+};
+
+Prepared prepare(const enterprise::RedundancyDesign& design,
+                 const std::map<enterprise::ServerRole, AggregatedRates>& rates,
+                 const std::map<enterprise::ServerRole, unsigned>& initial_down) {
+  const NetworkSrn net = build_network_srn(design, rates);
+  Prepared prep;
+  prep.graph = petri::build_reachability_graph(net.model);
+
+  const petri::RewardFunction reward = net.coa_reward();
+  prep.rewards.reserve(prep.graph.tangible_count());
+  for (const petri::Marking& m : prep.graph.tangible_markings) {
+    prep.rewards.push_back(reward(m));
+  }
+
+  // Construct the post-patch-event marking: per role, `initial_down` servers
+  // (clamped) are moved from up to down.
+  petri::Marking start = net.model.initial_marking();
+  for (const auto& [role, down] : initial_down) {
+    const auto up_it = net.up_places.find(role);
+    if (up_it == net.up_places.end()) continue;  // role not deployed
+    const petri::TokenCount capped =
+        std::min<petri::TokenCount>(down, start[up_it->second]);
+    start[up_it->second] -= capped;
+    start[net.down_places.at(role)] += capped;
+  }
+  prep.initial.assign(prep.graph.tangible_count(), 0.0);
+  prep.initial[prep.graph.index_of(start)] = 1.0;
+
+  const linalg::SteadyStateResult ss = prep.graph.chain.steady_state();
+  for (std::size_t i = 0; i < prep.rewards.size(); ++i) {
+    prep.steady_coa += ss.distribution[i] * prep.rewards[i];
+  }
+  return prep;
+}
+
+}  // namespace
+
+std::vector<CoaPoint> transient_coa_curve(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates,
+    const std::map<enterprise::ServerRole, unsigned>& initial_down,
+    const std::vector<double>& time_points_hours) {
+  if (time_points_hours.empty()) {
+    throw std::invalid_argument("transient_coa_curve: no time points");
+  }
+  const Prepared prep = prepare(design, rates, initial_down);
+  std::vector<CoaPoint> curve;
+  curve.reserve(time_points_hours.size());
+  for (double t : time_points_hours) {
+    if (t < 0.0) throw std::invalid_argument("transient_coa_curve: negative time");
+    curve.push_back(
+        {t, ctmc::transient_reward(prep.graph.chain, prep.initial, prep.rewards, t)});
+  }
+  return curve;
+}
+
+double patch_dip_shortfall(const enterprise::RedundancyDesign& design,
+                           const std::map<enterprise::ServerRole, AggregatedRates>& rates,
+                           const std::map<enterprise::ServerRole, unsigned>& initial_down,
+                           double horizon_hours, std::size_t steps) {
+  if (!(horizon_hours > 0.0)) throw std::invalid_argument("patch_dip_shortfall: horizon");
+  const Prepared prep = prepare(design, rates, initial_down);
+  const double accumulated = ctmc::accumulated_reward(prep.graph.chain, prep.initial,
+                                                      prep.rewards, horizon_hours, steps);
+  return prep.steady_coa * horizon_hours - accumulated;
+}
+
+}  // namespace patchsec::avail

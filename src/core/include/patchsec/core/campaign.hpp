@@ -1,0 +1,55 @@
+#pragma once
+// Multi-stage patch campaigns (paper Sec. V: "more complex cases (e.g.,
+// monthly patch of 3 months) will be considered in our future work").  A
+// campaign splits the vulnerability population into ordered stages — e.g.
+// month 1 patches critical, month 2 high-severity, month 3 the rest — and
+// tracks both sides of the trade-off as the stages land:
+//   * security: HARM metrics after the cumulative patch of stages 1..k;
+//   * availability: COA of the month in which stage k is applied (its patch
+//     durations come from the vulnerabilities patched that month).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "patchsec/core/evaluation.hpp"
+
+namespace patchsec::core {
+
+/// One campaign stage: the set of vulnerabilities patched in this round.
+struct CampaignStage {
+  std::string name;
+  std::function<bool(const nvd::Vulnerability&)> patched;
+};
+
+/// The classic severity-banded 3-month campaign:
+///   month 1: critical (base > 8.0, the paper's monthly patch)
+///   month 2: high (7.0 <= base <= 8.0)
+///   month 3: medium and below (base < 7.0)
+[[nodiscard]] std::vector<CampaignStage> severity_banded_campaign();
+
+/// Metrics after one stage has been applied (cumulatively).
+struct CampaignStageResult {
+  std::string stage;
+  /// HARM metrics with stages 1..k patched.
+  harm::SecurityMetrics security;
+  /// COA of the month applying stage k (patch durations = this stage's
+  /// vulnerabilities, 5 min per application vuln, 10 min per OS vuln).
+  double coa = 0.0;
+  /// Vulnerabilities removed by this stage across the whole network.
+  std::size_t vulnerabilities_patched = 0;
+};
+
+/// Evaluate a campaign over a design using the paper's per-vulnerability
+/// patch durations.  Stage k's availability month uses only stage k's patch
+/// work; stages with no work on a server tier fall back to a near-zero patch
+/// (the clock still fires).  Results are in stage order; the entry at index
+/// -1 conceptually (not returned) is the unpatched network — callers can get
+/// it from Evaluator::evaluate.
+[[nodiscard]] std::vector<CampaignStageResult> evaluate_campaign(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, enterprise::ServerSpec>& specs,
+    const enterprise::ReachabilityPolicy& policy, const std::vector<CampaignStage>& stages,
+    double patch_interval_hours = 720.0);
+
+}  // namespace patchsec::core

@@ -1,0 +1,61 @@
+#pragma once
+// The paper's contribution: the three-phase pipeline of Fig. 1 (inputs ->
+// model construction -> evaluation) run over redundancy designs, producing
+// the joint security/availability picture of Sec. IV.
+
+#include <map>
+#include <vector>
+
+#include "patchsec/avail/aggregation.hpp"
+#include "patchsec/avail/network_srn.hpp"
+#include "patchsec/enterprise/network.hpp"
+#include "patchsec/harm/harm.hpp"
+
+namespace patchsec::core {
+
+/// Joint result for one redundancy design.
+struct DesignEvaluation {
+  enterprise::RedundancyDesign design;
+  harm::SecurityMetrics before_patch;  ///< HARM metrics with all vulnerabilities.
+  harm::SecurityMetrics after_patch;   ///< HARM metrics after the critical patch.
+  double coa = 0.0;                    ///< capacity-oriented availability under the
+                                       ///< monthly patch schedule (Table VI measure).
+};
+
+/// Evaluates designs over fixed server specs and topology.  Lower-layer SRN
+/// aggregation is computed once per role and shared across designs.
+class Evaluator {
+ public:
+  /// `patch_interval_hours` = 1/tau_p (720 = the paper's monthly schedule).
+  Evaluator(std::map<enterprise::ServerRole, enterprise::ServerSpec> specs,
+            enterprise::ReachabilityPolicy policy, double patch_interval_hours = 720.0);
+
+  /// Convenience: the paper's case-study inputs.
+  [[nodiscard]] static Evaluator paper_case_study(double patch_interval_hours = 720.0);
+
+  [[nodiscard]] DesignEvaluation evaluate(const enterprise::RedundancyDesign& design) const;
+
+  [[nodiscard]] std::vector<DesignEvaluation> evaluate_all(
+      const std::vector<enterprise::RedundancyDesign>& designs) const;
+
+  /// Per-role aggregated rates (Table V rows).
+  [[nodiscard]] const std::map<enterprise::ServerRole, avail::AggregatedRates>& aggregated_rates()
+      const noexcept {
+    return rates_;
+  }
+
+  [[nodiscard]] const std::map<enterprise::ServerRole, enterprise::ServerSpec>& specs()
+      const noexcept {
+    return specs_;
+  }
+
+  [[nodiscard]] double patch_interval_hours() const noexcept { return patch_interval_hours_; }
+
+ private:
+  std::map<enterprise::ServerRole, enterprise::ServerSpec> specs_;
+  enterprise::ReachabilityPolicy policy_;
+  double patch_interval_hours_;
+  std::map<enterprise::ServerRole, avail::AggregatedRates> rates_;
+};
+
+}  // namespace patchsec::core

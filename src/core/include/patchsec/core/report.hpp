@@ -1,0 +1,32 @@
+#pragma once
+// Emitters for the paper's presentation artifacts: the Fig. 6 scatter data
+// (ASP vs COA), the Fig. 7 radar data (six metrics per design) and aligned
+// ASCII tables for terminal output.  CSV output is spreadsheet-ready.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "patchsec/core/evaluation.hpp"
+
+namespace patchsec::core {
+
+/// Fig. 6 scatter rows: one per design, before- and after-patch ASP plus COA.
+void write_scatter_csv(std::ostream& out, const std::vector<DesignEvaluation>& evals);
+
+/// Fig. 7 radar rows: design, phase(before|after), AIM, ASP, NoEV, NoAP,
+/// NoEP, COA.
+void write_radar_csv(std::ostream& out, const std::vector<DesignEvaluation>& evals);
+
+/// Human-readable fixed-width table of all metrics for all designs.
+void write_table(std::ostream& out, const std::vector<DesignEvaluation>& evals);
+
+/// Render one design row as "name: ASP=..., COA=...".
+[[nodiscard]] std::string summary_line(const DesignEvaluation& eval);
+
+/// Machine-readable JSON array of the evaluations (one object per design
+/// with before/after metric blocks and coa) — for dashboards and plotting
+/// pipelines.
+void write_json(std::ostream& out, const std::vector<DesignEvaluation>& evals);
+
+}  // namespace patchsec::core

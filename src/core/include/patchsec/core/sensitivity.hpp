@@ -1,0 +1,32 @@
+#pragma once
+// Sensitivity analysis: which model parameter moves COA the most?  Finite-
+// difference elasticities of the capacity-oriented availability with respect
+// to the per-tier aggregated rates and the patch interval.  Elasticity
+// (dCOA/COA) / (dX/X) is unit-free, so tiers and the schedule compare
+// directly.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "patchsec/avail/network_srn.hpp"
+#include "patchsec/enterprise/design.hpp"
+
+namespace patchsec::core {
+
+struct SensitivityEntry {
+  std::string parameter;   ///< e.g. "mu_eq(APP)", "lambda_eq(WEB)".
+  double base_value = 0.0;
+  double derivative = 0.0;  ///< dCOA / dX (central difference).
+  double elasticity = 0.0;  ///< (dCOA/COA) / (dX/X) at the base point.
+};
+
+/// Elasticities of COA with respect to every deployed tier's mu_eq and
+/// lambda_eq.  `relative_step` is the finite-difference step as a fraction
+/// of the base value.  Sorted by |elasticity| descending.
+[[nodiscard]] std::vector<SensitivityEntry> coa_sensitivity(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, avail::AggregatedRates>& rates,
+    double relative_step = 0.01);
+
+}  // namespace patchsec::core

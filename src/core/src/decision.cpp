@@ -1,0 +1,36 @@
+#include "patchsec/core/decision.hpp"
+
+namespace patchsec::core {
+
+bool satisfies(const DesignEvaluation& eval, const TwoMetricBounds& bounds) {
+  return eval.after_patch.attack_success_probability <= bounds.asp_upper &&
+         eval.coa >= bounds.coa_lower;
+}
+
+bool satisfies(const DesignEvaluation& eval, const MultiMetricBounds& bounds) {
+  const harm::SecurityMetrics& m = eval.after_patch;
+  return m.attack_success_probability <= bounds.asp_upper &&
+         m.exploitable_vulnerabilities <= bounds.noev_upper &&
+         m.attack_paths <= bounds.noap_upper && m.entry_points <= bounds.noep_upper &&
+         eval.coa >= bounds.coa_lower;
+}
+
+std::vector<DesignEvaluation> filter_designs(const std::vector<DesignEvaluation>& evals,
+                                             const TwoMetricBounds& bounds) {
+  std::vector<DesignEvaluation> out;
+  for (const DesignEvaluation& e : evals) {
+    if (satisfies(e, bounds)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<DesignEvaluation> filter_designs(const std::vector<DesignEvaluation>& evals,
+                                             const MultiMetricBounds& bounds) {
+  std::vector<DesignEvaluation> out;
+  for (const DesignEvaluation& e : evals) {
+    if (satisfies(e, bounds)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace patchsec::core

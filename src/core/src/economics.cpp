@@ -1,0 +1,37 @@
+#include "patchsec/core/economics.hpp"
+
+#include <stdexcept>
+
+namespace patchsec::core {
+
+CostBreakdown annual_cost(const DesignEvaluation& eval, const CostModel& model) {
+  if (model.annual_attack_probability < 0.0 || model.annual_attack_probability > 1.0) {
+    throw std::invalid_argument("annual_attack_probability must be in [0,1]");
+  }
+  constexpr double kHoursPerYear = 8760.0;
+  CostBreakdown cost;
+  cost.infrastructure = model.server_cost_per_year * eval.design.total_servers();
+  cost.downtime = (1.0 - eval.coa) * kHoursPerYear * model.downtime_cost_per_hour;
+  cost.breach_risk = eval.after_patch.attack_success_probability *
+                     model.annual_attack_probability * model.breach_cost;
+  cost.patching =
+      model.patch_labor_cost * model.patches_per_year * eval.design.total_servers();
+  return cost;
+}
+
+const DesignEvaluation& cheapest_design(const std::vector<DesignEvaluation>& evals,
+                                        const CostModel& model) {
+  if (evals.empty()) throw std::invalid_argument("cheapest_design: no candidates");
+  const DesignEvaluation* best = &evals.front();
+  double best_cost = annual_cost(*best, model).total();
+  for (const DesignEvaluation& e : evals) {
+    const double c = annual_cost(e, model).total();
+    if (c < best_cost) {
+      best = &e;
+      best_cost = c;
+    }
+  }
+  return *best;
+}
+
+}  // namespace patchsec::core

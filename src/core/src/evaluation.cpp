@@ -1,0 +1,39 @@
+#include "patchsec/core/evaluation.hpp"
+
+namespace patchsec::core {
+
+Evaluator::Evaluator(std::map<enterprise::ServerRole, enterprise::ServerSpec> specs,
+                     enterprise::ReachabilityPolicy policy, double patch_interval_hours)
+    : specs_(std::move(specs)), policy_(std::move(policy)),
+      patch_interval_hours_(patch_interval_hours) {
+  for (const auto& [role, spec] : specs_) {
+    rates_.emplace(role, avail::aggregate_server(spec, patch_interval_hours_));
+  }
+}
+
+Evaluator Evaluator::paper_case_study(double patch_interval_hours) {
+  return Evaluator(enterprise::paper_server_specs(), enterprise::ReachabilityPolicy::three_tier(),
+                   patch_interval_hours);
+}
+
+DesignEvaluation Evaluator::evaluate(const enterprise::RedundancyDesign& design) const {
+  const enterprise::NetworkModel network(design, specs_, policy_);
+  const harm::Harm before = network.build_harm();
+
+  DesignEvaluation result;
+  result.design = design;
+  result.before_patch = before.evaluate();
+  result.after_patch = before.after_critical_patch().evaluate();
+  result.coa = avail::capacity_oriented_availability(design, rates_);
+  return result;
+}
+
+std::vector<DesignEvaluation> Evaluator::evaluate_all(
+    const std::vector<enterprise::RedundancyDesign>& designs) const {
+  std::vector<DesignEvaluation> out;
+  out.reserve(designs.size());
+  for (const enterprise::RedundancyDesign& d : designs) out.push_back(evaluate(d));
+  return out;
+}
+
+}  // namespace patchsec::core

@@ -1,0 +1,78 @@
+#include "patchsec/core/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace patchsec::core {
+
+void write_scatter_csv(std::ostream& out, const std::vector<DesignEvaluation>& evals) {
+  out << "design,asp_before,asp_after,coa\n";
+  for (const DesignEvaluation& e : evals) {
+    out << e.design.name() << ',' << e.before_patch.attack_success_probability << ','
+        << e.after_patch.attack_success_probability << ',' << std::setprecision(10) << e.coa
+        << '\n';
+  }
+}
+
+void write_radar_csv(std::ostream& out, const std::vector<DesignEvaluation>& evals) {
+  out << "design,phase,aim,asp,noev,noap,noep,coa\n";
+  for (const DesignEvaluation& e : evals) {
+    const auto row = [&](const char* phase, const harm::SecurityMetrics& m) {
+      out << e.design.name() << ',' << phase << ',' << m.attack_impact << ','
+          << m.attack_success_probability << ',' << m.exploitable_vulnerabilities << ','
+          << m.attack_paths << ',' << m.entry_points << ',' << std::setprecision(10) << e.coa
+          << '\n';
+    };
+    row("before", e.before_patch);
+    row("after", e.after_patch);
+  }
+}
+
+void write_table(std::ostream& out, const std::vector<DesignEvaluation>& evals) {
+  out << std::left << std::setw(28) << "design" << std::right << std::setw(7) << "phase"
+      << std::setw(8) << "AIM" << std::setw(9) << "ASP" << std::setw(6) << "NoEV" << std::setw(6)
+      << "NoAP" << std::setw(6) << "NoEP" << std::setw(11) << "COA" << '\n';
+  for (const DesignEvaluation& e : evals) {
+    const auto row = [&](const char* phase, const harm::SecurityMetrics& m) {
+      out << std::left << std::setw(28) << e.design.name() << std::right << std::setw(7) << phase
+          << std::setw(8) << std::fixed << std::setprecision(1) << m.attack_impact << std::setw(9)
+          << std::setprecision(4) << m.attack_success_probability << std::setw(6)
+          << m.exploitable_vulnerabilities << std::setw(6) << m.attack_paths << std::setw(6)
+          << m.entry_points << std::setw(11) << std::setprecision(5) << e.coa << '\n';
+      out.unsetf(std::ios::fixed);
+    };
+    row("before", e.before_patch);
+    row("after", e.after_patch);
+  }
+}
+
+void write_json(std::ostream& out, const std::vector<DesignEvaluation>& evals) {
+  const auto metrics_json = [&out](const harm::SecurityMetrics& m) {
+    out << "{\"aim\":" << m.attack_impact << ",\"asp\":" << m.attack_success_probability
+        << ",\"noev\":" << m.exploitable_vulnerabilities << ",\"noap\":" << m.attack_paths
+        << ",\"noep\":" << m.entry_points << "}";
+  };
+  out << "[";
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    const DesignEvaluation& e = evals[i];
+    if (i != 0) out << ",";
+    out << "\n  {\"design\":\"" << e.design.name() << "\",\"servers\":"
+        << e.design.total_servers() << ",\"before\":";
+    metrics_json(e.before_patch);
+    out << ",\"after\":";
+    metrics_json(e.after_patch);
+    out << ",\"coa\":" << std::setprecision(10) << e.coa << "}";
+  }
+  out << "\n]\n";
+}
+
+std::string summary_line(const DesignEvaluation& eval) {
+  std::ostringstream out;
+  out << eval.design.name() << ": ASP(after)=" << std::setprecision(4)
+      << eval.after_patch.attack_success_probability << ", COA=" << std::setprecision(6)
+      << eval.coa;
+  return out.str();
+}
+
+}  // namespace patchsec::core

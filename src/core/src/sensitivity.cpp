@@ -1,0 +1,56 @@
+#include "patchsec/core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace patchsec::core {
+
+namespace {
+
+double coa_with(const enterprise::RedundancyDesign& design,
+                std::map<enterprise::ServerRole, avail::AggregatedRates> rates,
+                enterprise::ServerRole role, bool perturb_mu, double factor) {
+  auto& r = rates.at(role);
+  if (perturb_mu) {
+    r.mu_eq *= factor;
+  } else {
+    r.lambda_eq *= factor;
+  }
+  return avail::capacity_oriented_availability(design, rates);
+}
+
+}  // namespace
+
+std::vector<SensitivityEntry> coa_sensitivity(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, avail::AggregatedRates>& rates,
+    double relative_step) {
+  if (!(relative_step > 0.0) || relative_step >= 1.0) {
+    throw std::invalid_argument("coa_sensitivity: relative_step must be in (0,1)");
+  }
+  const double base_coa = avail::capacity_oriented_availability(design, rates);
+
+  std::vector<SensitivityEntry> out;
+  for (const auto& [role, r] : rates) {
+    if (design.count(role) == 0) continue;
+    for (bool perturb_mu : {true, false}) {
+      const double base_value = perturb_mu ? r.mu_eq : r.lambda_eq;
+      const double up = coa_with(design, rates, role, perturb_mu, 1.0 + relative_step);
+      const double down = coa_with(design, rates, role, perturb_mu, 1.0 - relative_step);
+      SensitivityEntry entry;
+      entry.parameter = std::string(perturb_mu ? "mu_eq(" : "lambda_eq(") +
+                        enterprise::to_string(role) + ")";
+      entry.base_value = base_value;
+      entry.derivative = (up - down) / (2.0 * relative_step * base_value);
+      entry.elasticity = entry.derivative * base_value / base_coa;
+      out.push_back(std::move(entry));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SensitivityEntry& a, const SensitivityEntry& b) {
+    return std::abs(a.elasticity) > std::abs(b.elasticity);
+  });
+  return out;
+}
+
+}  // namespace patchsec::core

@@ -1,0 +1,31 @@
+#pragma once
+// Absorbing-chain analysis: mean time to absorption and absorption
+// probabilities.  Used for mean-time-to-service-interruption style metrics
+// and as a second oracle for the aggregation equations (mean holding time in
+// the patch-down macro state equals MTTR).
+
+#include <vector>
+
+#include "patchsec/ctmc/ctmc.hpp"
+
+namespace patchsec::ctmc {
+
+struct AbsorbingAnalysis {
+  /// Expected time to reach any absorbing state, per transient start state.
+  /// Entries for absorbing states are 0.
+  std::vector<double> mean_time_to_absorption;
+  /// Indices of absorbing states (no outgoing transitions).
+  std::vector<StateIndex> absorbing_states;
+};
+
+/// Analyze the chain, treating states without outgoing transitions as
+/// absorbing.  Throws std::domain_error when no absorbing state exists or
+/// when some transient state cannot reach one.
+[[nodiscard]] AbsorbingAnalysis analyze_absorbing(const Ctmc& chain);
+
+/// Mean first-passage time from `start` into the set `targets` (treated as
+/// absorbing by cutting their outgoing transitions).
+[[nodiscard]] double mean_first_passage_time(const Ctmc& chain, StateIndex start,
+                                             const std::vector<StateIndex>& targets);
+
+}  // namespace patchsec::ctmc

@@ -1,0 +1,42 @@
+#pragma once
+// Transient analysis of a CTMC via Jensen's uniformization:
+//   pi(t) = sum_{k>=0} Poisson(k; Lambda t) * pi(0) P^k,  P = I + Q/Lambda.
+// The Poisson tail is truncated once the accumulated mass exceeds
+// 1 - epsilon; for stiff patch models this keeps the expansion short.
+
+#include <cstddef>
+#include <vector>
+
+#include "patchsec/ctmc/ctmc.hpp"
+
+namespace patchsec::ctmc {
+
+struct TransientOptions {
+  double epsilon = 1e-12;        ///< truncation error bound on Poisson mass.
+  std::size_t max_terms = 2'000'000;  ///< hard cap on expansion length.
+};
+
+/// Distribution at time `t` starting from `initial` (must sum to 1).
+[[nodiscard]] std::vector<double> transient_distribution(const Ctmc& chain,
+                                                         const std::vector<double>& initial,
+                                                         double t,
+                                                         const TransientOptions& options = {});
+
+/// Expected instantaneous reward at time t:  sum_s pi_s(t) r_s.
+[[nodiscard]] double transient_reward(const Ctmc& chain,
+                                      const std::vector<double>& initial,
+                                      const std::vector<double>& rewards,
+                                      double t,
+                                      const TransientOptions& options = {});
+
+/// Expected accumulated reward over [0, t] (trapezoidal integration of the
+/// instantaneous reward over `steps` uniform sub-intervals).  Interval
+/// availability is this divided by t with an indicator reward.
+[[nodiscard]] double accumulated_reward(const Ctmc& chain,
+                                        const std::vector<double>& initial,
+                                        const std::vector<double>& rewards,
+                                        double t,
+                                        std::size_t steps = 64,
+                                        const TransientOptions& options = {});
+
+}  // namespace patchsec::ctmc

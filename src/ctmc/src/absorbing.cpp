@@ -1,0 +1,104 @@
+#include "patchsec/ctmc/absorbing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "patchsec/linalg/dense_matrix.hpp"
+
+namespace patchsec::ctmc {
+
+namespace {
+
+// Solve the linear system  -Q_TT * m = 1  over transient states T, where
+// Q_TT is the generator restricted to T; m is the MTTA vector.
+std::vector<double> solve_mtta(const Ctmc& chain, const std::vector<bool>& is_absorbing) {
+  const std::size_t n = chain.state_count();
+  std::vector<std::size_t> transient_of(n, static_cast<std::size_t>(-1));
+  std::vector<StateIndex> transients;
+  for (StateIndex s = 0; s < n; ++s) {
+    if (!is_absorbing[s]) {
+      transient_of[s] = transients.size();
+      transients.push_back(s);
+    }
+  }
+  const std::size_t m = transients.size();
+  if (m == 0) return std::vector<double>(n, 0.0);
+
+  linalg::DenseMatrix a(m, m, 0.0);
+  for (const RateTransition& t : chain.transitions()) {
+    if (is_absorbing[t.from]) continue;
+    const std::size_t i = transient_of[t.from];
+    a(i, i) += t.rate;  // -q_ii
+    if (!is_absorbing[t.to]) {
+      a(i, transient_of[t.to]) -= t.rate;  // -q_ij
+    }
+  }
+  const std::vector<double> rhs(m, 1.0);
+  std::vector<double> mtta_t;
+  try {
+    mtta_t = a.solve(rhs);
+  } catch (const std::domain_error&) {
+    throw std::domain_error("absorbing analysis: some transient state cannot reach absorption");
+  }
+  std::vector<double> full(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) full[transients[i]] = mtta_t[i];
+  return full;
+}
+
+}  // namespace
+
+AbsorbingAnalysis analyze_absorbing(const Ctmc& chain) {
+  const std::size_t n = chain.state_count();
+  std::vector<bool> has_out(n, false);
+  for (const RateTransition& t : chain.transitions()) has_out[t.from] = true;
+
+  AbsorbingAnalysis result;
+  std::vector<bool> is_absorbing(n, false);
+  for (StateIndex s = 0; s < n; ++s) {
+    if (!has_out[s]) {
+      is_absorbing[s] = true;
+      result.absorbing_states.push_back(s);
+    }
+  }
+  if (result.absorbing_states.empty()) {
+    throw std::domain_error("analyze_absorbing: chain has no absorbing state");
+  }
+  result.mean_time_to_absorption = solve_mtta(chain, is_absorbing);
+  return result;
+}
+
+double mean_first_passage_time(const Ctmc& chain, StateIndex start,
+                               const std::vector<StateIndex>& targets) {
+  if (start >= chain.state_count()) throw std::out_of_range("mean_first_passage_time: start");
+  if (targets.empty()) throw std::invalid_argument("mean_first_passage_time: no targets");
+  std::vector<bool> is_target(chain.state_count(), false);
+  for (StateIndex t : targets) {
+    if (t >= chain.state_count()) throw std::out_of_range("mean_first_passage_time: target");
+    is_target[t] = true;
+  }
+  if (is_target[start]) return 0.0;
+
+  // Rebuild with target outgoing transitions cut.
+  Ctmc cut;
+  cut.add_states(chain.state_count());
+  for (const RateTransition& t : chain.transitions()) {
+    if (!is_target[t.from]) cut.add_transition(t.from, t.to, t.rate);
+  }
+  std::vector<bool> is_absorbing(chain.state_count(), false);
+  for (StateIndex s = 0; s < chain.state_count(); ++s) {
+    bool has_out = false;
+    for (const RateTransition& t : cut.transitions()) {
+      if (t.from == s) {
+        has_out = true;
+        break;
+      }
+    }
+    is_absorbing[s] = !has_out;
+  }
+  // Every state in `targets` is absorbing now; other sink states (if any)
+  // would make passage impossible and surface as a singular system.
+  const std::vector<double> mtta = solve_mtta(cut, is_absorbing);
+  return mtta[start];
+}
+
+}  // namespace patchsec::ctmc

@@ -1,0 +1,102 @@
+#include "patchsec/ctmc/ctmc.hpp"
+
+#include <cmath>
+
+#include "patchsec/linalg/vector_ops.hpp"
+
+namespace patchsec::ctmc {
+
+StateIndex Ctmc::add_state(std::string label) {
+  labels_.push_back(std::move(label));
+  return labels_.size() - 1;
+}
+
+StateIndex Ctmc::add_states(std::size_t n) {
+  const StateIndex first = labels_.size();
+  labels_.resize(labels_.size() + n);
+  return first;
+}
+
+void Ctmc::add_transition(StateIndex from, StateIndex to, double rate) {
+  if (from >= state_count() || to >= state_count()) {
+    throw std::out_of_range("Ctmc::add_transition: state out of range");
+  }
+  if (from == to) throw std::invalid_argument("Ctmc::add_transition: self loop");
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    throw std::invalid_argument("Ctmc::add_transition: rate must be positive and finite");
+  }
+  transitions_.push_back({from, to, rate});
+}
+
+linalg::CsrMatrix Ctmc::generator() const {
+  std::vector<linalg::Triplet> entries;
+  entries.reserve(transitions_.size() * 2);
+  for (const RateTransition& t : transitions_) {
+    entries.push_back({t.from, t.to, t.rate});
+    entries.push_back({t.from, t.from, -t.rate});
+  }
+  return linalg::CsrMatrix(state_count(), state_count(), std::move(entries));
+}
+
+linalg::SteadyStateResult Ctmc::steady_state(const linalg::SteadyStateOptions& options) const {
+  if (state_count() == 0) throw std::logic_error("Ctmc::steady_state: empty chain");
+  return linalg::solve_steady_state(generator(), options);
+}
+
+double Ctmc::expected_steady_state_reward(const std::vector<double>& rewards,
+                                          const linalg::SteadyStateOptions& options) const {
+  if (rewards.size() != state_count()) {
+    throw std::invalid_argument("expected_steady_state_reward: reward vector size mismatch");
+  }
+  const linalg::SteadyStateResult ss = steady_state(options);
+  return linalg::dot(ss.distribution, rewards);
+}
+
+double Ctmc::exit_rate(StateIndex s) const {
+  if (s >= state_count()) throw std::out_of_range("Ctmc::exit_rate");
+  double acc = 0.0;
+  for (const RateTransition& t : transitions_) {
+    if (t.from == s) acc += t.rate;
+  }
+  return acc;
+}
+
+std::vector<bool> Ctmc::reachable_from(StateIndex start) const {
+  if (start >= state_count()) throw std::out_of_range("Ctmc::reachable_from");
+  std::vector<std::vector<StateIndex>> adjacency(state_count());
+  for (const RateTransition& t : transitions_) adjacency[t.from].push_back(t.to);
+
+  std::vector<bool> seen(state_count(), false);
+  std::vector<StateIndex> stack{start};
+  seen[start] = true;
+  while (!stack.empty()) {
+    const StateIndex s = stack.back();
+    stack.pop_back();
+    for (StateIndex next : adjacency[s]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return seen;
+}
+
+bool Ctmc::is_irreducible() const {
+  if (state_count() == 0) return false;
+  const std::vector<bool> forward = reachable_from(0);
+  for (bool b : forward) {
+    if (!b) return false;
+  }
+  // Check the reverse direction on the transposed chain.
+  Ctmc reversed;
+  reversed.add_states(state_count());
+  for (const RateTransition& t : transitions_) reversed.add_transition(t.to, t.from, t.rate);
+  const std::vector<bool> backward = reversed.reachable_from(0);
+  for (bool b : backward) {
+    if (!b) return false;
+  }
+  return true;
+}
+
+}  // namespace patchsec::ctmc

@@ -1,0 +1,64 @@
+#pragma once
+// CVSS v2 base-metric vectors and the official scoring equations
+// (first.org CVSS v2 guide).  The paper derives both of its per-vulnerability
+// security inputs from these scores:
+//   attack impact              = impact subscore
+//   attack success probability = exploitability subscore / 10
+// and classifies a vulnerability as *critical* when base score > 8.0.
+
+#include <cstdint>
+#include <string>
+
+namespace patchsec::cvss {
+
+enum class AccessVector : std::uint8_t { kLocal, kAdjacentNetwork, kNetwork };
+enum class AccessComplexity : std::uint8_t { kHigh, kMedium, kLow };
+enum class Authentication : std::uint8_t { kMultiple, kSingle, kNone };
+enum class ImpactLevel : std::uint8_t { kNone, kPartial, kComplete };
+
+/// A CVSS v2 base vector, e.g. "AV:N/AC:L/Au:N/C:C/I:C/A:C".
+struct CvssV2Vector {
+  AccessVector access_vector = AccessVector::kNetwork;
+  AccessComplexity access_complexity = AccessComplexity::kLow;
+  Authentication authentication = Authentication::kNone;
+  ImpactLevel confidentiality = ImpactLevel::kNone;
+  ImpactLevel integrity = ImpactLevel::kNone;
+  ImpactLevel availability = ImpactLevel::kNone;
+
+  /// Parse the canonical 6-component string form; throws
+  /// std::invalid_argument on malformed input.
+  [[nodiscard]] static CvssV2Vector parse(const std::string& text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Impact subscore: 10.41 * (1 - (1-C)(1-I)(1-A)), rounded to one decimal.
+  [[nodiscard]] double impact_subscore() const;
+
+  /// Exploitability subscore: 20 * AV * AC * Au, rounded to one decimal.
+  [[nodiscard]] double exploitability_subscore() const;
+
+  /// Base score per the v2 equation, rounded to one decimal.
+  [[nodiscard]] double base_score() const;
+
+  friend bool operator==(const CvssV2Vector&, const CvssV2Vector&) = default;
+};
+
+/// Numeric weights of the v2 equations (exposed for tests).
+[[nodiscard]] double weight(AccessVector v) noexcept;
+[[nodiscard]] double weight(AccessComplexity v) noexcept;
+[[nodiscard]] double weight(Authentication v) noexcept;
+[[nodiscard]] double weight(ImpactLevel v) noexcept;
+
+/// Round to one decimal, the CVSS convention applied to every subscore.
+[[nodiscard]] double round_to_tenth(double x) noexcept;
+
+/// Qualitative severity bands.  The paper's "critical" cut is base > 8.0,
+/// exposed separately because it is not part of the CVSS v2 standard.
+enum class Severity : std::uint8_t { kLow, kMedium, kHigh };
+
+[[nodiscard]] Severity severity_band(double base_score);
+
+/// The paper's criticality rule: CVSS v2 base score strictly above 8.0.
+[[nodiscard]] bool is_critical(double base_score) noexcept;
+
+}  // namespace patchsec::cvss

@@ -1,0 +1,60 @@
+#pragma once
+// CVSS v3.0/v3.1 base-metric vectors and scoring (first.org specification).
+// The paper's 2016 snapshot is CVSS v2, but modern NVD feeds publish v3;
+// supporting both lets users run the pipeline on current data.  The v3 base
+// equations are identical between 3.0 and 3.1 except for the Roundup
+// definition; we implement the 3.1 rounding, which fixes the 3.0
+// floating-point artifacts.
+
+#include <cstdint>
+#include <string>
+
+namespace patchsec::cvss {
+
+enum class AttackVectorV3 : std::uint8_t { kNetwork, kAdjacent, kLocal, kPhysical };
+enum class AttackComplexityV3 : std::uint8_t { kLow, kHigh };
+enum class PrivilegesRequiredV3 : std::uint8_t { kNone, kLow, kHigh };
+enum class UserInteractionV3 : std::uint8_t { kNone, kRequired };
+enum class ScopeV3 : std::uint8_t { kUnchanged, kChanged };
+enum class ImpactV3 : std::uint8_t { kNone, kLow, kHigh };
+
+/// A CVSS v3 base vector, e.g. "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H".
+struct CvssV3Vector {
+  AttackVectorV3 attack_vector = AttackVectorV3::kNetwork;
+  AttackComplexityV3 attack_complexity = AttackComplexityV3::kLow;
+  PrivilegesRequiredV3 privileges_required = PrivilegesRequiredV3::kNone;
+  UserInteractionV3 user_interaction = UserInteractionV3::kNone;
+  ScopeV3 scope = ScopeV3::kUnchanged;
+  ImpactV3 confidentiality = ImpactV3::kNone;
+  ImpactV3 integrity = ImpactV3::kNone;
+  ImpactV3 availability = ImpactV3::kNone;
+
+  /// Parse the canonical form (with or without the "CVSS:3.x/" prefix).
+  /// Throws std::invalid_argument on malformed input.
+  [[nodiscard]] static CvssV3Vector parse(const std::string& text);
+
+  [[nodiscard]] std::string to_string() const;  ///< with "CVSS:3.1/" prefix.
+
+  /// ISC_Base = 1 - (1-C)(1-I)(1-A); the impact subscore then applies the
+  /// scope-dependent polynomial and is NOT rounded (per spec).
+  [[nodiscard]] double impact_subscore() const;
+
+  /// 8.22 * AV * AC * PR * UI (unrounded, per spec).
+  [[nodiscard]] double exploitability_subscore() const;
+
+  /// Base score per the v3.1 equation (Roundup to one decimal).
+  [[nodiscard]] double base_score() const;
+
+  friend bool operator==(const CvssV3Vector&, const CvssV3Vector&) = default;
+};
+
+/// v3 qualitative severity: None/Low/Medium/High/Critical.
+enum class SeverityV3 : std::uint8_t { kNone, kLow, kMedium, kHigh, kCritical };
+
+[[nodiscard]] SeverityV3 severity_band_v3(double base_score);
+
+/// Roundup as defined by CVSS v3.1 (smallest number with one decimal >= x,
+/// with a 1e-5 guard against floating-point representation noise).
+[[nodiscard]] double roundup_v31(double x) noexcept;
+
+}  // namespace patchsec::cvss

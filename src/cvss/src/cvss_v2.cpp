@@ -1,0 +1,170 @@
+#include "patchsec/cvss/cvss_v2.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace patchsec::cvss {
+
+double weight(AccessVector v) noexcept {
+  switch (v) {
+    case AccessVector::kLocal: return 0.395;
+    case AccessVector::kAdjacentNetwork: return 0.646;
+    case AccessVector::kNetwork: return 1.0;
+  }
+  return 0.0;
+}
+
+double weight(AccessComplexity v) noexcept {
+  switch (v) {
+    case AccessComplexity::kHigh: return 0.35;
+    case AccessComplexity::kMedium: return 0.61;
+    case AccessComplexity::kLow: return 0.71;
+  }
+  return 0.0;
+}
+
+double weight(Authentication v) noexcept {
+  switch (v) {
+    case Authentication::kMultiple: return 0.45;
+    case Authentication::kSingle: return 0.56;
+    case Authentication::kNone: return 0.704;
+  }
+  return 0.0;
+}
+
+double weight(ImpactLevel v) noexcept {
+  switch (v) {
+    case ImpactLevel::kNone: return 0.0;
+    case ImpactLevel::kPartial: return 0.275;
+    case ImpactLevel::kComplete: return 0.660;
+  }
+  return 0.0;
+}
+
+double round_to_tenth(double x) noexcept { return std::round(x * 10.0) / 10.0; }
+
+namespace {
+
+char letter(AccessVector v) {
+  switch (v) {
+    case AccessVector::kLocal: return 'L';
+    case AccessVector::kAdjacentNetwork: return 'A';
+    case AccessVector::kNetwork: return 'N';
+  }
+  return '?';
+}
+char letter(AccessComplexity v) {
+  switch (v) {
+    case AccessComplexity::kHigh: return 'H';
+    case AccessComplexity::kMedium: return 'M';
+    case AccessComplexity::kLow: return 'L';
+  }
+  return '?';
+}
+char letter(Authentication v) {
+  switch (v) {
+    case Authentication::kMultiple: return 'M';
+    case Authentication::kSingle: return 'S';
+    case Authentication::kNone: return 'N';
+  }
+  return '?';
+}
+char letter(ImpactLevel v) {
+  switch (v) {
+    case ImpactLevel::kNone: return 'N';
+    case ImpactLevel::kPartial: return 'P';
+    case ImpactLevel::kComplete: return 'C';
+  }
+  return '?';
+}
+
+[[noreturn]] void bad(const std::string& text, const std::string& what) {
+  throw std::invalid_argument("CVSS v2 vector '" + text + "': " + what);
+}
+
+}  // namespace
+
+CvssV2Vector CvssV2Vector::parse(const std::string& text) {
+  CvssV2Vector v;
+  std::istringstream in(text);
+  std::string part;
+  int seen = 0;
+  while (std::getline(in, part, '/')) {
+    const auto colon = part.find(':');
+    if (colon == std::string::npos || colon + 1 >= part.size()) bad(text, "malformed component " + part);
+    const std::string key = part.substr(0, colon);
+    const char val = part[colon + 1];
+    if (key == "AV") {
+      v.access_vector = val == 'L'   ? AccessVector::kLocal
+                        : val == 'A' ? AccessVector::kAdjacentNetwork
+                        : val == 'N' ? AccessVector::kNetwork
+                                     : (bad(text, "AV value"), AccessVector::kNetwork);
+    } else if (key == "AC") {
+      v.access_complexity = val == 'H'   ? AccessComplexity::kHigh
+                            : val == 'M' ? AccessComplexity::kMedium
+                            : val == 'L' ? AccessComplexity::kLow
+                                         : (bad(text, "AC value"), AccessComplexity::kLow);
+    } else if (key == "Au") {
+      v.authentication = val == 'M'   ? Authentication::kMultiple
+                         : val == 'S' ? Authentication::kSingle
+                         : val == 'N' ? Authentication::kNone
+                                      : (bad(text, "Au value"), Authentication::kNone);
+    } else if (key == "C" || key == "I" || key == "A") {
+      const ImpactLevel lvl = val == 'N'   ? ImpactLevel::kNone
+                              : val == 'P' ? ImpactLevel::kPartial
+                              : val == 'C' ? ImpactLevel::kComplete
+                                           : (bad(text, key + " value"), ImpactLevel::kNone);
+      if (key == "C") v.confidentiality = lvl;
+      else if (key == "I") v.integrity = lvl;
+      else v.availability = lvl;
+    } else {
+      bad(text, "unknown component key " + key);
+    }
+    ++seen;
+  }
+  if (seen != 6) bad(text, "expected exactly 6 components");
+  return v;
+}
+
+std::string CvssV2Vector::to_string() const {
+  std::ostringstream out;
+  out << "AV:" << letter(access_vector) << "/AC:" << letter(access_complexity)
+      << "/Au:" << letter(authentication) << "/C:" << letter(confidentiality)
+      << "/I:" << letter(integrity) << "/A:" << letter(availability);
+  return out.str();
+}
+
+double CvssV2Vector::impact_subscore() const {
+  const double c = weight(confidentiality);
+  const double i = weight(integrity);
+  const double a = weight(availability);
+  return round_to_tenth(10.41 * (1.0 - (1.0 - c) * (1.0 - i) * (1.0 - a)));
+}
+
+double CvssV2Vector::exploitability_subscore() const {
+  return round_to_tenth(20.0 * weight(access_vector) * weight(access_complexity) *
+                        weight(authentication));
+}
+
+double CvssV2Vector::base_score() const {
+  // The official equation uses the un-rounded impact for f(impact) but the
+  // rounded subscores in the linear combination.
+  const double impact = impact_subscore();
+  const double exploitability = exploitability_subscore();
+  const double f = impact == 0.0 ? 0.0 : 1.176;
+  return round_to_tenth(((0.6 * impact) + (0.4 * exploitability) - 1.5) * f);
+}
+
+Severity severity_band(double base_score) {
+  if (base_score < 0.0 || base_score > 10.0) {
+    throw std::invalid_argument("severity_band: score outside [0,10]");
+  }
+  if (base_score <= 3.9) return Severity::kLow;
+  if (base_score <= 6.9) return Severity::kMedium;
+  return Severity::kHigh;
+}
+
+bool is_critical(double base_score) noexcept { return base_score > 8.0; }
+
+}  // namespace patchsec::cvss

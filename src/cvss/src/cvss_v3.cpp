@@ -1,0 +1,171 @@
+#include "patchsec/cvss/cvss_v3.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace patchsec::cvss {
+
+namespace {
+
+double weight(AttackVectorV3 v) {
+  switch (v) {
+    case AttackVectorV3::kNetwork: return 0.85;
+    case AttackVectorV3::kAdjacent: return 0.62;
+    case AttackVectorV3::kLocal: return 0.55;
+    case AttackVectorV3::kPhysical: return 0.2;
+  }
+  return 0.0;
+}
+
+double weight(AttackComplexityV3 v) {
+  return v == AttackComplexityV3::kLow ? 0.77 : 0.44;
+}
+
+double weight(PrivilegesRequiredV3 v, ScopeV3 scope) {
+  switch (v) {
+    case PrivilegesRequiredV3::kNone: return 0.85;
+    case PrivilegesRequiredV3::kLow: return scope == ScopeV3::kChanged ? 0.68 : 0.62;
+    case PrivilegesRequiredV3::kHigh: return scope == ScopeV3::kChanged ? 0.5 : 0.27;
+  }
+  return 0.0;
+}
+
+double weight(UserInteractionV3 v) {
+  return v == UserInteractionV3::kNone ? 0.85 : 0.62;
+}
+
+double weight(ImpactV3 v) {
+  switch (v) {
+    case ImpactV3::kNone: return 0.0;
+    case ImpactV3::kLow: return 0.22;
+    case ImpactV3::kHigh: return 0.56;
+  }
+  return 0.0;
+}
+
+[[noreturn]] void bad(const std::string& text, const std::string& what) {
+  throw std::invalid_argument("CVSS v3 vector '" + text + "': " + what);
+}
+
+}  // namespace
+
+double roundup_v31(double x) noexcept {
+  // Per the v3.1 spec appendix: work on 1e5-scaled integers.
+  const long long scaled = static_cast<long long>(std::llround(x * 100000.0));
+  if (scaled % 10000 == 0) return static_cast<double>(scaled) / 100000.0;
+  return (std::floor(static_cast<double>(scaled) / 10000.0) + 1.0) / 10.0;
+}
+
+CvssV3Vector CvssV3Vector::parse(const std::string& text) {
+  std::string body = text;
+  if (body.rfind("CVSS:3.0/", 0) == 0 || body.rfind("CVSS:3.1/", 0) == 0) {
+    body = body.substr(9);
+  }
+  CvssV3Vector v;
+  std::istringstream in(body);
+  std::string part;
+  int seen = 0;
+  while (std::getline(in, part, '/')) {
+    const auto colon = part.find(':');
+    if (colon == std::string::npos || colon + 1 >= part.size()) bad(text, "malformed " + part);
+    const std::string key = part.substr(0, colon);
+    const std::string val = part.substr(colon + 1);
+    if (key == "AV") {
+      v.attack_vector = val == "N"   ? AttackVectorV3::kNetwork
+                        : val == "A" ? AttackVectorV3::kAdjacent
+                        : val == "L" ? AttackVectorV3::kLocal
+                        : val == "P" ? AttackVectorV3::kPhysical
+                                     : (bad(text, "AV"), AttackVectorV3::kNetwork);
+    } else if (key == "AC") {
+      v.attack_complexity = val == "L"   ? AttackComplexityV3::kLow
+                            : val == "H" ? AttackComplexityV3::kHigh
+                                         : (bad(text, "AC"), AttackComplexityV3::kLow);
+    } else if (key == "PR") {
+      v.privileges_required = val == "N"   ? PrivilegesRequiredV3::kNone
+                              : val == "L" ? PrivilegesRequiredV3::kLow
+                              : val == "H" ? PrivilegesRequiredV3::kHigh
+                                           : (bad(text, "PR"), PrivilegesRequiredV3::kNone);
+    } else if (key == "UI") {
+      v.user_interaction = val == "N"   ? UserInteractionV3::kNone
+                           : val == "R" ? UserInteractionV3::kRequired
+                                        : (bad(text, "UI"), UserInteractionV3::kNone);
+    } else if (key == "S") {
+      v.scope = val == "U"   ? ScopeV3::kUnchanged
+                : val == "C" ? ScopeV3::kChanged
+                             : (bad(text, "S"), ScopeV3::kUnchanged);
+    } else if (key == "C" || key == "I" || key == "A") {
+      const ImpactV3 lvl = val == "N"   ? ImpactV3::kNone
+                           : val == "L" ? ImpactV3::kLow
+                           : val == "H" ? ImpactV3::kHigh
+                                        : (bad(text, key), ImpactV3::kNone);
+      if (key == "C") v.confidentiality = lvl;
+      else if (key == "I") v.integrity = lvl;
+      else v.availability = lvl;
+    } else {
+      bad(text, "unknown key " + key);
+    }
+    ++seen;
+  }
+  if (seen != 8) bad(text, "expected 8 components");
+  return v;
+}
+
+std::string CvssV3Vector::to_string() const {
+  std::ostringstream out;
+  out << "CVSS:3.1/AV:";
+  switch (attack_vector) {
+    case AttackVectorV3::kNetwork: out << 'N'; break;
+    case AttackVectorV3::kAdjacent: out << 'A'; break;
+    case AttackVectorV3::kLocal: out << 'L'; break;
+    case AttackVectorV3::kPhysical: out << 'P'; break;
+  }
+  out << "/AC:" << (attack_complexity == AttackComplexityV3::kLow ? 'L' : 'H');
+  out << "/PR:"
+      << (privileges_required == PrivilegesRequiredV3::kNone   ? 'N'
+          : privileges_required == PrivilegesRequiredV3::kLow ? 'L'
+                                                              : 'H');
+  out << "/UI:" << (user_interaction == UserInteractionV3::kNone ? 'N' : 'R');
+  out << "/S:" << (scope == ScopeV3::kUnchanged ? 'U' : 'C');
+  const auto impact_letter = [](ImpactV3 lvl) {
+    return lvl == ImpactV3::kNone ? 'N' : lvl == ImpactV3::kLow ? 'L' : 'H';
+  };
+  out << "/C:" << impact_letter(confidentiality) << "/I:" << impact_letter(integrity)
+      << "/A:" << impact_letter(availability);
+  return out.str();
+}
+
+double CvssV3Vector::impact_subscore() const {
+  const double iss = 1.0 - (1.0 - weight(confidentiality)) * (1.0 - weight(integrity)) *
+                               (1.0 - weight(availability));
+  if (scope == ScopeV3::kUnchanged) return 6.42 * iss;
+  return 7.52 * (iss - 0.029) - 3.25 * std::pow(iss - 0.02, 15.0);
+}
+
+double CvssV3Vector::exploitability_subscore() const {
+  return 8.22 * weight(attack_vector) * weight(attack_complexity) *
+         weight(privileges_required, scope) * weight(user_interaction);
+}
+
+double CvssV3Vector::base_score() const {
+  const double impact = impact_subscore();
+  if (impact <= 0.0) return 0.0;
+  const double exploitability = exploitability_subscore();
+  if (scope == ScopeV3::kUnchanged) {
+    return roundup_v31(std::min(impact + exploitability, 10.0));
+  }
+  return roundup_v31(std::min(1.08 * (impact + exploitability), 10.0));
+}
+
+SeverityV3 severity_band_v3(double base_score) {
+  if (base_score < 0.0 || base_score > 10.0) {
+    throw std::invalid_argument("severity_band_v3: score outside [0,10]");
+  }
+  if (base_score == 0.0) return SeverityV3::kNone;
+  if (base_score <= 3.9) return SeverityV3::kLow;
+  if (base_score <= 6.9) return SeverityV3::kMedium;
+  if (base_score <= 8.9) return SeverityV3::kHigh;
+  return SeverityV3::kCritical;
+}
+
+}  // namespace patchsec::cvss

@@ -1,0 +1,33 @@
+#pragma once
+// Redundancy designs: how many identical instances of each server type the
+// network deploys (active-active clusters).  The paper compares five designs
+// (Fig. 6/7) plus the Fig. 2 example network (2 web + 2 app).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "patchsec/enterprise/server.hpp"
+
+namespace patchsec::enterprise {
+
+struct RedundancyDesign {
+  std::array<unsigned, kRoleCount> counts{1, 1, 1, 1};  ///< indexed by role_index().
+
+  [[nodiscard]] unsigned count(ServerRole role) const { return counts[role_index(role)]; }
+  [[nodiscard]] unsigned total_servers() const;
+
+  /// "1 DNS + 2 WEB + 2 APP + 1 DB" — the paper's naming convention.
+  [[nodiscard]] std::string name() const;
+
+  friend bool operator==(const RedundancyDesign&, const RedundancyDesign&) = default;
+};
+
+/// The five design choices of Sec. IV: no redundancy, then one extra server
+/// of each role in turn.
+[[nodiscard]] std::vector<RedundancyDesign> paper_designs();
+
+/// The Fig. 2 example network: 1 DNS + 2 WEB + 2 APP + 1 DB.
+[[nodiscard]] RedundancyDesign example_network_design();
+
+}  // namespace patchsec::enterprise

@@ -1,0 +1,45 @@
+#pragma once
+// Heterogeneous redundancy (paper Sec. V, "systems" extension): redundant
+// servers within a tier need not be identical — e.g. one Apache and one
+// nginx web server, so a single critical CVE no longer takes out (or opens)
+// the whole tier.  Each server instance carries its own spec.
+
+#include <string>
+#include <vector>
+
+#include "patchsec/enterprise/network.hpp"
+
+namespace patchsec::enterprise {
+
+/// One concrete server box.
+struct ServerInstance {
+  std::string name;  ///< unique HARM node name, e.g. "web1-apache".
+  ServerRole role = ServerRole::kWeb;
+  ServerSpec spec;
+};
+
+/// A network whose tiers may mix different server specs.
+class HeterogeneousNetwork {
+ public:
+  HeterogeneousNetwork(std::vector<ServerInstance> instances, ReachabilityPolicy policy);
+
+  [[nodiscard]] const std::vector<ServerInstance>& instances() const noexcept {
+    return instances_;
+  }
+  [[nodiscard]] const ReachabilityPolicy& policy() const noexcept { return policy_; }
+
+  /// Number of instances in a role/tier.
+  [[nodiscard]] unsigned count(ServerRole role) const;
+
+  /// Total exploitable vulnerabilities across all instances.
+  [[nodiscard]] std::size_t exploitable_vulnerability_count() const;
+
+  /// Two-layer HARM with one node and one attack tree per instance.
+  [[nodiscard]] harm::Harm build_harm() const;
+
+ private:
+  std::vector<ServerInstance> instances_;
+  ReachabilityPolicy policy_;
+};
+
+}  // namespace patchsec::enterprise

@@ -1,0 +1,66 @@
+#pragma once
+// Server specifications: role, software stack, vulnerability population,
+// failure/recovery behaviour and patch-duration parameters derived from the
+// number of critical vulnerabilities per software layer (Sec. III-D1: a
+// critical application vulnerability takes 5 minutes to patch on average, a
+// critical OS vulnerability 10 minutes).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "patchsec/harm/attack_tree.hpp"
+#include "patchsec/nvd/vulnerability.hpp"
+
+namespace patchsec::enterprise {
+
+enum class ServerRole : std::uint8_t { kDns, kWeb, kApp, kDb };
+inline constexpr std::size_t kRoleCount = 4;
+
+[[nodiscard]] const char* to_string(ServerRole role) noexcept;
+[[nodiscard]] std::size_t role_index(ServerRole role) noexcept;
+
+/// Failure/recovery parameters of one server's components, as *mean times in
+/// hours* (Table IV lists them this way); the SRN layer converts to rates.
+struct FailureRecoveryTimes {
+  double hw_mtbf = 87600.0;       ///< hardware mean time between failures.
+  double hw_mttr = 1.0;           ///< hardware mean time to repair.
+  double os_mtbf = 1440.0;        ///< OS software MTBF.
+  double os_mttr = 1.0;           ///< OS recovery after software failure.
+  double os_reboot = 10.0 / 60.0; ///< OS reboot (after patch or failure).
+  double svc_mtbf = 336.0;        ///< service-application MTBF.
+  double svc_mttr = 0.5;          ///< service recovery after failure.
+  double svc_reboot = 5.0 / 60.0; ///< service reboot (after patch or failure).
+};
+
+/// Average patch duration per critical vulnerability (hours).
+inline constexpr double kAppVulnPatchHours = 5.0 / 60.0;
+inline constexpr double kOsVulnPatchHours = 10.0 / 60.0;
+
+/// A fully described server type.  Redundant instances of the same type are
+/// identical in hardware and software (paper assumption).
+struct ServerSpec {
+  ServerRole role = ServerRole::kWeb;
+  std::string os_name;
+  std::string service_name;
+  /// Complete vulnerability population (exploitable and not).
+  std::vector<nvd::Vulnerability> vulnerabilities;
+  /// Lower-layer HARM attack tree over the *exploitable* vulnerabilities.
+  harm::AttackTree attack_tree;
+  FailureRecoveryTimes times;
+
+  /// Number of critical vulnerabilities in the given layer (these are what
+  /// the monthly patch removes).
+  [[nodiscard]] std::size_t critical_count(nvd::SoftwareLayer layer) const;
+
+  /// Mean time (hours) to patch all critical application vulnerabilities.
+  [[nodiscard]] double app_patch_hours() const;
+
+  /// Mean time (hours) to patch all critical OS vulnerabilities.
+  [[nodiscard]] double os_patch_hours() const;
+
+  /// Exploitable vulnerability count (before patch).
+  [[nodiscard]] std::size_t exploitable_count() const;
+};
+
+}  // namespace patchsec::enterprise

@@ -1,0 +1,38 @@
+#include "patchsec/enterprise/design.hpp"
+
+#include <sstream>
+
+namespace patchsec::enterprise {
+
+unsigned RedundancyDesign::total_servers() const {
+  unsigned total = 0;
+  for (unsigned c : counts) total += c;
+  return total;
+}
+
+std::string RedundancyDesign::name() const {
+  static constexpr std::array<ServerRole, kRoleCount> kOrder{
+      ServerRole::kDns, ServerRole::kWeb, ServerRole::kApp, ServerRole::kDb};
+  std::ostringstream out;
+  bool first = true;
+  for (ServerRole r : kOrder) {
+    if (!first) out << " + ";
+    out << count(r) << ' ' << to_string(r);
+    first = false;
+  }
+  return out.str();
+}
+
+std::vector<RedundancyDesign> paper_designs() {
+  std::vector<RedundancyDesign> designs;
+  designs.push_back({{1, 1, 1, 1}});
+  designs.push_back({{2, 1, 1, 1}});
+  designs.push_back({{1, 2, 1, 1}});
+  designs.push_back({{1, 1, 2, 1}});
+  designs.push_back({{1, 1, 1, 2}});
+  return designs;
+}
+
+RedundancyDesign example_network_design() { return {{1, 2, 2, 1}}; }
+
+}  // namespace patchsec::enterprise

@@ -1,0 +1,68 @@
+#include "patchsec/enterprise/heterogeneous.hpp"
+
+#include <stdexcept>
+
+namespace patchsec::enterprise {
+
+HeterogeneousNetwork::HeterogeneousNetwork(std::vector<ServerInstance> instances,
+                                           ReachabilityPolicy policy)
+    : instances_(std::move(instances)), policy_(std::move(policy)) {
+  if (instances_.empty()) throw std::invalid_argument("heterogeneous network needs instances");
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i].name.empty()) throw std::invalid_argument("instance needs a name");
+    for (std::size_t j = i + 1; j < instances_.size(); ++j) {
+      if (instances_[i].name == instances_[j].name) {
+        throw std::invalid_argument("duplicate instance name: " + instances_[i].name);
+      }
+    }
+  }
+  if (!policy_.attacker_reaches || !policy_.reaches) {
+    throw std::invalid_argument("reachability policy is incomplete");
+  }
+  if (count(policy_.target_role) == 0) {
+    throw std::invalid_argument("no instance hosts the target role");
+  }
+}
+
+unsigned HeterogeneousNetwork::count(ServerRole role) const {
+  unsigned n = 0;
+  for (const ServerInstance& inst : instances_) {
+    if (inst.role == role) ++n;
+  }
+  return n;
+}
+
+std::size_t HeterogeneousNetwork::exploitable_vulnerability_count() const {
+  std::size_t total = 0;
+  for (const ServerInstance& inst : instances_) total += inst.spec.exploitable_count();
+  return total;
+}
+
+harm::Harm HeterogeneousNetwork::build_harm() const {
+  harm::AttackGraph graph;
+  const harm::GraphNodeId attacker = graph.add_node("attacker");
+  graph.set_attacker(attacker);
+
+  std::vector<harm::GraphNodeId> nodes;
+  nodes.reserve(instances_.size());
+  for (const ServerInstance& inst : instances_) nodes.push_back(graph.add_node(inst.name));
+
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (policy_.attacker_reaches(instances_[i].role)) graph.add_edge(attacker, nodes[i]);
+    for (std::size_t j = 0; j < instances_.size(); ++j) {
+      if (i == j || instances_[i].role == instances_[j].role) continue;
+      if (policy_.reaches(instances_[i].role, instances_[j].role)) {
+        graph.add_edge(nodes[i], nodes[j]);
+      }
+    }
+    if (instances_[i].role == policy_.target_role) graph.add_target(nodes[i]);
+  }
+
+  harm::Harm model(std::move(graph));
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    model.attach_tree(nodes[i], instances_[i].spec.attack_tree);
+  }
+  return model;
+}
+
+}  // namespace patchsec::enterprise

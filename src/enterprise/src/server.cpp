@@ -1,0 +1,41 @@
+#include "patchsec/enterprise/server.hpp"
+
+namespace patchsec::enterprise {
+
+const char* to_string(ServerRole role) noexcept {
+  switch (role) {
+    case ServerRole::kDns: return "DNS";
+    case ServerRole::kWeb: return "WEB";
+    case ServerRole::kApp: return "APP";
+    case ServerRole::kDb: return "DB";
+  }
+  return "?";
+}
+
+std::size_t role_index(ServerRole role) noexcept { return static_cast<std::size_t>(role); }
+
+std::size_t ServerSpec::critical_count(nvd::SoftwareLayer layer) const {
+  std::size_t count = 0;
+  for (const nvd::Vulnerability& v : vulnerabilities) {
+    if (v.layer == layer && v.is_critical()) ++count;
+  }
+  return count;
+}
+
+double ServerSpec::app_patch_hours() const {
+  return kAppVulnPatchHours * static_cast<double>(critical_count(nvd::SoftwareLayer::kApplication));
+}
+
+double ServerSpec::os_patch_hours() const {
+  return kOsVulnPatchHours * static_cast<double>(critical_count(nvd::SoftwareLayer::kOs));
+}
+
+std::size_t ServerSpec::exploitable_count() const {
+  std::size_t count = 0;
+  for (const nvd::Vulnerability& v : vulnerabilities) {
+    if (v.remotely_exploitable) ++count;
+  }
+  return count;
+}
+
+}  // namespace patchsec::enterprise

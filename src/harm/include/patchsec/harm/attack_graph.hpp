@@ -1,0 +1,50 @@
+#pragma once
+// Upper layer of the HARM: a directed reachability graph between the
+// attacker, the servers and the target(s).  Edges follow the firewall/topology
+// reachability of the modeled network.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace patchsec::harm {
+
+using GraphNodeId = std::size_t;
+
+/// Directed graph with one distinguished attacker node and one or more
+/// target nodes.  Node identity is by index; names are for reporting.
+class AttackGraph {
+ public:
+  AttackGraph() = default;
+
+  GraphNodeId add_node(std::string name);
+  void add_edge(GraphNodeId from, GraphNodeId to);
+
+  void set_attacker(GraphNodeId node);
+  void add_target(GraphNodeId node);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return names_.size(); }
+  [[nodiscard]] const std::string& name(GraphNodeId n) const { return names_.at(n); }
+  [[nodiscard]] GraphNodeId attacker() const;
+  [[nodiscard]] const std::vector<GraphNodeId>& targets() const noexcept { return targets_; }
+  [[nodiscard]] const std::vector<GraphNodeId>& successors(GraphNodeId n) const {
+    return adjacency_.at(n);
+  }
+  /// Node lookup by name; throws std::out_of_range when absent.
+  [[nodiscard]] GraphNodeId node(const std::string& name) const;
+
+  /// All simple paths attacker -> any target, excluding nodes for which
+  /// `attackable` is false (the attacker itself is exempt).  Each returned
+  /// path lists the compromised nodes in order, without the attacker.
+  /// Throws std::runtime_error if more than `max_paths` exist.
+  [[nodiscard]] std::vector<std::vector<GraphNodeId>> enumerate_attack_paths(
+      const std::vector<bool>& attackable, std::size_t max_paths = 1'000'000) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<GraphNodeId>> adjacency_;
+  std::vector<GraphNodeId> targets_;
+  GraphNodeId attacker_ = static_cast<GraphNodeId>(-1);
+};
+
+}  // namespace patchsec::harm

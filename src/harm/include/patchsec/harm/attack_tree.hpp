@@ -1,0 +1,97 @@
+#pragma once
+// Lower layer of the HARM: one attack tree (AT) per server describing how an
+// attacker combines that server's vulnerabilities to gain root.  Leaves are
+// vulnerabilities; internal nodes are AND/OR gates.
+//
+// Metric semantics (paper Sec. III-C worked example):
+//   attack impact:              OR = max of children, AND = sum of children
+//   attack success probability: OR = max of children, AND = product
+// e.g. web AT = OR(v1, v2, v3, AND(v4, v5)) gives
+//   aim = max(10.0, 10.0, 10.0, 2.9 + 10.0) = 12.9.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "patchsec/nvd/vulnerability.hpp"
+
+namespace patchsec::harm {
+
+enum class GateType : std::uint8_t { kLeaf, kAnd, kOr };
+
+using NodeId = std::size_t;
+
+/// AND/OR tree over vulnerability leaves.  Nodes are owned by the tree and
+/// referenced by index; the root must be set before evaluation.
+class AttackTree {
+ public:
+  AttackTree() = default;
+
+  /// Add a vulnerability leaf.
+  NodeId add_leaf(nvd::Vulnerability vulnerability);
+
+  /// Add a gate over existing children (at least one child; children must
+  /// not already have a parent).
+  NodeId add_gate(GateType type, const std::vector<NodeId>& children);
+
+  void set_root(NodeId node);
+  [[nodiscard]] bool has_root() const noexcept { return root_.has_value(); }
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Structural introspection (exporters, analyses).
+  [[nodiscard]] GateType node_type(NodeId node) const;
+  [[nodiscard]] const nvd::Vulnerability& node_vulnerability(NodeId node) const;
+  [[nodiscard]] const std::vector<NodeId>& node_children(NodeId node) const;
+  [[nodiscard]] std::optional<NodeId> root() const noexcept { return root_; }
+
+  /// True when no attack can succeed (no root set, or every branch pruned).
+  [[nodiscard]] bool infeasible() const;
+
+  /// Attack impact at the tree root.  Throws std::logic_error when
+  /// infeasible (an unattackable server has no impact value).
+  [[nodiscard]] double attack_impact() const;
+
+  /// Attack success probability at the tree root; throws when infeasible.
+  [[nodiscard]] double attack_success_probability() const;
+
+  /// Number of (distinct leaf) exploitable vulnerabilities in the tree.
+  [[nodiscard]] std::size_t exploitable_vulnerability_count() const;
+
+  /// The vulnerabilities at the leaves, in insertion order.
+  [[nodiscard]] std::vector<nvd::Vulnerability> leaves() const;
+
+  /// Structural patch transform: remove every leaf whose vulnerability
+  /// satisfies `patched`.  An AND gate with a removed child becomes
+  /// infeasible; an OR gate survives while at least one child does.  Returns
+  /// the pruned tree (possibly infeasible).
+  [[nodiscard]] AttackTree after_patch(
+      const std::function<bool(const nvd::Vulnerability&)>& patched) const;
+
+  /// Convenience: prune all critical vulnerabilities (the paper's patch).
+  [[nodiscard]] AttackTree after_critical_patch() const;
+
+ private:
+  struct Node {
+    GateType type = GateType::kLeaf;
+    std::optional<nvd::Vulnerability> vulnerability;  // leaves only
+    std::vector<NodeId> children;                     // gates only
+    bool has_parent = false;
+  };
+
+  [[nodiscard]] double eval_impact(NodeId n) const;
+  [[nodiscard]] double eval_probability(NodeId n) const;
+
+  std::vector<Node> nodes_;
+  std::optional<NodeId> root_;
+};
+
+/// Build the flat OR(singletons..., AND(pair...)) shapes used by the paper's
+/// case study: every entry of `or_leaves` is a direct OR child and each
+/// group in `and_groups` becomes an AND gate under the OR.
+[[nodiscard]] AttackTree make_or_tree(const std::vector<nvd::Vulnerability>& or_leaves,
+                                      const std::vector<std::vector<nvd::Vulnerability>>& and_groups = {});
+
+}  // namespace patchsec::harm

@@ -1,0 +1,21 @@
+#pragma once
+// Graphviz DOT export of a two-layer HARM: the upper-layer attack graph with
+// the attacker/target highlighted and each node annotated with its AT-level
+// metrics — the Fig. 3 diagrams of the paper, regenerated from code.
+
+#include <string>
+
+#include "patchsec/harm/harm.hpp"
+
+namespace patchsec::harm {
+
+/// Render the HARM upper layer.  Unattackable nodes (fully patched) are
+/// drawn dashed and excluded nodes keep their position so before/after
+/// diagrams line up.
+[[nodiscard]] std::string to_dot(const Harm& model, const std::string& graph_name = "harm");
+
+/// Render one attack tree (lower layer) as a DOT digraph: leaves carry the
+/// CVE id with (impact, probability); gates are labelled AND/OR.
+[[nodiscard]] std::string to_dot(const AttackTree& tree, const std::string& graph_name = "at");
+
+}  // namespace patchsec::harm

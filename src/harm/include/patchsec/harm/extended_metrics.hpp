@@ -1,0 +1,43 @@
+#pragma once
+// Extended security metrics beyond the paper's five (Sec. V "other metrics"
+// points at the security-metrics survey [19]): path-level statistics, total
+// risk, and per-node criticality used for patch prioritization.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "patchsec/harm/harm.hpp"
+
+namespace patchsec::harm {
+
+struct ExtendedMetrics {
+  /// Length (hops) of the shortest attack path; 0 when no path exists.
+  std::size_t shortest_path_length = 0;
+  /// Length of the longest attack path.
+  std::size_t longest_path_length = 0;
+  /// Mean probability across attack paths.
+  double mean_path_probability = 0.0;
+  /// Total risk: sum over paths of impact * probability.
+  double total_risk = 0.0;
+  /// The single path with the highest impact * probability product.
+  AttackPath riskiest_path;
+};
+
+[[nodiscard]] ExtendedMetrics evaluate_extended(const Harm& model);
+
+/// Per-node criticality: for each attackable server, the fraction of attack
+/// paths passing through it and the network-risk reduction obtained by
+/// taking it off the attack surface (e.g. by patching every one of its
+/// exploitable vulnerabilities).  Sorted by risk reduction, descending —
+/// a patch-prioritization list.
+struct NodeCriticality {
+  GraphNodeId node = 0;
+  std::string name;
+  double path_fraction = 0.0;   ///< share of attack paths through this node.
+  double risk_reduction = 0.0;  ///< total_risk minus total_risk without it.
+};
+
+[[nodiscard]] std::vector<NodeCriticality> rank_node_criticality(const Harm& model);
+
+}  // namespace patchsec::harm

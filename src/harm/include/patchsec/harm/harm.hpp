@@ -1,0 +1,76 @@
+#pragma once
+// Two-layered Hierarchical Attack Representation Model (HARM): an attack
+// graph over servers (upper layer) with one attack tree per server (lower
+// layer), plus the five security metrics the paper evaluates and the
+// critical-patch transformation.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "patchsec/harm/attack_graph.hpp"
+#include "patchsec/harm/attack_tree.hpp"
+
+namespace patchsec::harm {
+
+/// The paper's security metrics (Table II / Fig. 7 axes).
+struct SecurityMetrics {
+  double attack_impact = 0.0;               ///< AIM : max over paths of summed node impact.
+  double attack_success_probability = 0.0;  ///< ASP : 1 - prod_paths (1 - path probability).
+  std::size_t exploitable_vulnerabilities = 0;  ///< NoEV: summed over all servers.
+  std::size_t attack_paths = 0;                 ///< NoAP: simple attacker->target paths.
+  std::size_t entry_points = 0;  ///< NoEP: distinct first hops over all attack paths.
+};
+
+/// One attack path with its per-path metric values (Sec. III-C example:
+/// aim_ap1 = 52.2 for {dns1, web1, app1, db1}).
+struct AttackPath {
+  std::vector<GraphNodeId> nodes;  ///< compromised servers in order.
+  double impact = 0.0;             ///< sum of node-level impacts.
+  double probability = 0.0;        ///< product of node-level probabilities.
+};
+
+/// Two-layer HARM.  Construct the upper-layer graph, then attach one attack
+/// tree per server node (the attacker node carries no tree).
+class Harm {
+ public:
+  explicit Harm(AttackGraph graph);
+
+  /// Attach/replace the lower-layer tree of a server node.  Trees may be
+  /// infeasible (a fully patched server).
+  void attach_tree(GraphNodeId node, AttackTree tree);
+
+  [[nodiscard]] const AttackGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const AttackTree& tree(GraphNodeId node) const;
+  [[nodiscard]] bool attackable(GraphNodeId node) const;
+
+  /// Node-level metrics (the AT root values).  Throw for unattackable nodes.
+  [[nodiscard]] double node_impact(GraphNodeId node) const;
+  [[nodiscard]] double node_probability(GraphNodeId node) const;
+
+  /// All attack paths with per-path metrics.
+  [[nodiscard]] std::vector<AttackPath> attack_paths() const;
+
+  /// Network-level metrics.  A HARM with no attack path reports AIM = 0 and
+  /// ASP = 0 (nothing reaches the target) while NoEV still counts leftover
+  /// exploitable vulnerabilities on all servers.
+  [[nodiscard]] SecurityMetrics evaluate() const;
+
+  /// Patch transformation: prune every vulnerability satisfying `patched`
+  /// from every tree.  Servers whose tree becomes infeasible stay in the
+  /// network (they still run and get patched) but stop being attackable, so
+  /// paths can no longer traverse them — exactly how the paper's dns server
+  /// drops out of the after-patch HARM.
+  [[nodiscard]] Harm after_patch(
+      const std::function<bool(const nvd::Vulnerability&)>& patched) const;
+
+  /// The paper's patch: remove all critical vulnerabilities.
+  [[nodiscard]] Harm after_critical_patch() const;
+
+ private:
+  AttackGraph graph_;
+  std::map<GraphNodeId, AttackTree> trees_;
+};
+
+}  // namespace patchsec::harm

@@ -1,0 +1,89 @@
+#include "patchsec/harm/attack_graph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace patchsec::harm {
+
+GraphNodeId AttackGraph::add_node(std::string name) {
+  if (name.empty()) throw std::invalid_argument("add_node: empty name");
+  for (const std::string& existing : names_) {
+    if (existing == name) throw std::invalid_argument("add_node: duplicate name " + name);
+  }
+  names_.push_back(std::move(name));
+  adjacency_.emplace_back();
+  return names_.size() - 1;
+}
+
+void AttackGraph::add_edge(GraphNodeId from, GraphNodeId to) {
+  if (from >= node_count() || to >= node_count()) throw std::out_of_range("add_edge");
+  if (from == to) throw std::invalid_argument("add_edge: self loop");
+  auto& row = adjacency_[from];
+  if (std::find(row.begin(), row.end(), to) == row.end()) row.push_back(to);
+}
+
+void AttackGraph::set_attacker(GraphNodeId node) {
+  if (node >= node_count()) throw std::out_of_range("set_attacker");
+  attacker_ = node;
+}
+
+void AttackGraph::add_target(GraphNodeId node) {
+  if (node >= node_count()) throw std::out_of_range("add_target");
+  if (std::find(targets_.begin(), targets_.end(), node) == targets_.end()) {
+    targets_.push_back(node);
+  }
+}
+
+GraphNodeId AttackGraph::attacker() const {
+  if (attacker_ == static_cast<GraphNodeId>(-1)) throw std::logic_error("attacker not set");
+  return attacker_;
+}
+
+GraphNodeId AttackGraph::node(const std::string& name) const {
+  for (GraphNodeId i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  throw std::out_of_range("no such graph node: " + name);
+}
+
+std::vector<std::vector<GraphNodeId>> AttackGraph::enumerate_attack_paths(
+    const std::vector<bool>& attackable, std::size_t max_paths) const {
+  if (attackable.size() != node_count()) {
+    throw std::invalid_argument("enumerate_attack_paths: attackable mask size mismatch");
+  }
+  const GraphNodeId start = attacker();
+  std::vector<bool> is_target(node_count(), false);
+  for (GraphNodeId t : targets_) is_target[t] = true;
+  if (targets_.empty()) throw std::logic_error("no target set");
+
+  std::vector<std::vector<GraphNodeId>> paths;
+  std::vector<GraphNodeId> current;
+  std::vector<bool> on_path(node_count(), false);
+
+  const std::function<void(GraphNodeId)> dfs = [&](GraphNodeId n) {
+    if (is_target[n]) {
+      if (paths.size() >= max_paths) {
+        throw std::runtime_error("attack path enumeration exceeded max_paths");
+      }
+      paths.push_back(current);
+      // Targets are endpoints: the paper's paths stop at the first database
+      // server reached; do not extend past a target.
+      return;
+    }
+    for (GraphNodeId next : adjacency_[n]) {
+      if (on_path[next] || !attackable[next]) continue;
+      on_path[next] = true;
+      current.push_back(next);
+      dfs(next);
+      current.pop_back();
+      on_path[next] = false;
+    }
+  };
+
+  on_path[start] = true;
+  dfs(start);
+  return paths;
+}
+
+}  // namespace patchsec::harm

@@ -1,0 +1,199 @@
+#include "patchsec/harm/attack_tree.hpp"
+
+#include <stdexcept>
+
+namespace patchsec::harm {
+
+NodeId AttackTree::add_leaf(nvd::Vulnerability vulnerability) {
+  Node n;
+  n.type = GateType::kLeaf;
+  n.vulnerability = std::move(vulnerability);
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+NodeId AttackTree::add_gate(GateType type, const std::vector<NodeId>& children) {
+  if (type == GateType::kLeaf) throw std::invalid_argument("add_gate: kLeaf is not a gate");
+  if (children.empty()) throw std::invalid_argument("add_gate: gate needs children");
+  for (NodeId c : children) {
+    if (c >= nodes_.size()) throw std::out_of_range("add_gate: unknown child");
+    if (nodes_[c].has_parent) throw std::invalid_argument("add_gate: child already has a parent");
+  }
+  Node n;
+  n.type = type;
+  n.children = children;
+  for (NodeId c : children) nodes_[c].has_parent = true;
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+GateType AttackTree::node_type(NodeId node) const {
+  if (node >= nodes_.size()) throw std::out_of_range("node_type: unknown node");
+  return nodes_[node].type;
+}
+
+const nvd::Vulnerability& AttackTree::node_vulnerability(NodeId node) const {
+  if (node >= nodes_.size()) throw std::out_of_range("node_vulnerability: unknown node");
+  if (nodes_[node].type != GateType::kLeaf) {
+    throw std::logic_error("node_vulnerability: not a leaf");
+  }
+  return *nodes_[node].vulnerability;
+}
+
+const std::vector<NodeId>& AttackTree::node_children(NodeId node) const {
+  if (node >= nodes_.size()) throw std::out_of_range("node_children: unknown node");
+  return nodes_[node].children;
+}
+
+void AttackTree::set_root(NodeId node) {
+  if (node >= nodes_.size()) throw std::out_of_range("set_root: unknown node");
+  root_ = node;
+}
+
+bool AttackTree::infeasible() const { return !root_.has_value(); }
+
+double AttackTree::eval_impact(NodeId n) const {
+  const Node& node = nodes_[n];
+  switch (node.type) {
+    case GateType::kLeaf:
+      return node.vulnerability->attack_impact();
+    case GateType::kOr: {
+      double best = 0.0;
+      for (NodeId c : node.children) best = std::max(best, eval_impact(c));
+      return best;
+    }
+    case GateType::kAnd: {
+      double acc = 0.0;
+      for (NodeId c : node.children) acc += eval_impact(c);
+      return acc;
+    }
+  }
+  throw std::logic_error("unreachable gate type");
+}
+
+double AttackTree::eval_probability(NodeId n) const {
+  const Node& node = nodes_[n];
+  switch (node.type) {
+    case GateType::kLeaf:
+      return node.vulnerability->attack_success_probability();
+    case GateType::kOr: {
+      double best = 0.0;
+      for (NodeId c : node.children) best = std::max(best, eval_probability(c));
+      return best;
+    }
+    case GateType::kAnd: {
+      double acc = 1.0;
+      for (NodeId c : node.children) acc *= eval_probability(c);
+      return acc;
+    }
+  }
+  throw std::logic_error("unreachable gate type");
+}
+
+double AttackTree::attack_impact() const {
+  if (infeasible()) throw std::logic_error("attack_impact: infeasible tree");
+  return eval_impact(*root_);
+}
+
+double AttackTree::attack_success_probability() const {
+  if (infeasible()) throw std::logic_error("attack_success_probability: infeasible tree");
+  return eval_probability(*root_);
+}
+
+std::size_t AttackTree::exploitable_vulnerability_count() const {
+  std::size_t count = 0;
+  if (infeasible()) return 0;
+  // Count leaves reachable from the root (pruned nodes are unreachable).
+  std::vector<NodeId> stack{*root_};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (nodes_[n].type == GateType::kLeaf) {
+      if (nodes_[n].vulnerability->remotely_exploitable) ++count;
+    } else {
+      for (NodeId c : nodes_[n].children) stack.push_back(c);
+    }
+  }
+  return count;
+}
+
+std::vector<nvd::Vulnerability> AttackTree::leaves() const {
+  std::vector<nvd::Vulnerability> out;
+  if (infeasible()) return out;
+  // In-order walk from the root, preserving child order.
+  const std::function<void(NodeId)> walk = [&](NodeId n) {
+    if (nodes_[n].type == GateType::kLeaf) {
+      out.push_back(*nodes_[n].vulnerability);
+    } else {
+      for (NodeId c : nodes_[n].children) walk(c);
+    }
+  };
+  walk(*root_);
+  return out;
+}
+
+namespace {
+
+// Recursive rebuild used by after_patch: returns the new node id in `out`,
+// or nullopt when the subtree became infeasible.
+std::optional<NodeId> rebuild(const AttackTree& /*unused*/, AttackTree& out, GateType type,
+                              const std::vector<std::optional<NodeId>>& children) {
+  std::vector<NodeId> alive;
+  for (const auto& c : children) {
+    if (c.has_value()) alive.push_back(*c);
+  }
+  if (type == GateType::kAnd) {
+    if (alive.size() != children.size()) return std::nullopt;  // a leg died
+  } else {
+    if (alive.empty()) return std::nullopt;
+  }
+  if (alive.size() == 1) return alive[0];  // collapse degenerate gate
+  return out.add_gate(type, alive);
+}
+
+}  // namespace
+
+AttackTree AttackTree::after_patch(
+    const std::function<bool(const nvd::Vulnerability&)>& patched) const {
+  if (!patched) throw std::invalid_argument("after_patch: null predicate");
+  AttackTree out;
+  if (infeasible()) return out;
+
+  const std::function<std::optional<NodeId>(NodeId)> copy = [&](NodeId n) -> std::optional<NodeId> {
+    const Node& node = nodes_[n];
+    if (node.type == GateType::kLeaf) {
+      if (patched(*node.vulnerability)) return std::nullopt;
+      return out.add_leaf(*node.vulnerability);
+    }
+    std::vector<std::optional<NodeId>> children;
+    children.reserve(node.children.size());
+    for (NodeId c : node.children) children.push_back(copy(c));
+    return rebuild(*this, out, node.type, children);
+  };
+
+  const std::optional<NodeId> new_root = copy(*root_);
+  if (new_root.has_value()) out.set_root(*new_root);
+  return out;
+}
+
+AttackTree AttackTree::after_critical_patch() const {
+  return after_patch([](const nvd::Vulnerability& v) { return v.is_critical(); });
+}
+
+AttackTree make_or_tree(const std::vector<nvd::Vulnerability>& or_leaves,
+                        const std::vector<std::vector<nvd::Vulnerability>>& and_groups) {
+  AttackTree tree;
+  std::vector<NodeId> top;
+  for (const nvd::Vulnerability& v : or_leaves) top.push_back(tree.add_leaf(v));
+  for (const std::vector<nvd::Vulnerability>& group : and_groups) {
+    if (group.empty()) throw std::invalid_argument("make_or_tree: empty AND group");
+    std::vector<NodeId> members;
+    for (const nvd::Vulnerability& v : group) members.push_back(tree.add_leaf(v));
+    top.push_back(members.size() == 1 ? members[0] : tree.add_gate(GateType::kAnd, members));
+  }
+  if (top.empty()) return tree;  // infeasible tree (no root)
+  tree.set_root(top.size() == 1 ? top[0] : tree.add_gate(GateType::kOr, top));
+  return tree;
+}
+
+}  // namespace patchsec::harm

@@ -1,0 +1,91 @@
+#include "patchsec/harm/dot_export.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace patchsec::harm {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Harm& model, const std::string& graph_name) {
+  const AttackGraph& g = model.graph();
+  std::ostringstream out;
+  out << "digraph \"" << escape(graph_name) << "\" {\n  rankdir=LR;\n";
+  const GraphNodeId attacker = g.attacker();
+  std::vector<bool> is_target(g.node_count(), false);
+  for (GraphNodeId t : g.targets()) is_target[t] = true;
+
+  for (GraphNodeId n = 0; n < g.node_count(); ++n) {
+    out << "  n" << n << " [label=\"" << escape(g.name(n));
+    if (n != attacker && model.attackable(n)) {
+      out << "\\naim=" << std::fixed << std::setprecision(1) << model.node_impact(n)
+          << " asp=" << std::setprecision(2) << model.node_probability(n);
+    }
+    out << "\"";
+    if (n == attacker) {
+      out << ", shape=diamond";
+    } else if (is_target[n]) {
+      out << ", shape=doublecircle";
+    } else {
+      out << ", shape=ellipse";
+    }
+    if (n != attacker && !model.attackable(n)) out << ", style=dashed";
+    out << "];\n";
+  }
+  for (GraphNodeId n = 0; n < g.node_count(); ++n) {
+    for (GraphNodeId succ : g.successors(n)) {
+      out << "  n" << n << " -> n" << succ << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const AttackTree& tree, const std::string& graph_name) {
+  std::ostringstream out;
+  out << "digraph \"" << escape(graph_name) << "\" {\n";
+  if (tree.infeasible()) {
+    out << "  empty [label=\"(infeasible)\", shape=plaintext];\n}\n";
+    return out.str();
+  }
+  // Walk from the root so pruned/unreachable nodes stay out of the picture.
+  std::vector<NodeId> stack{*tree.root()};
+  std::vector<bool> seen(tree.node_count(), false);
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (seen[n]) continue;
+    seen[n] = true;
+    if (tree.node_type(n) == GateType::kLeaf) {
+      const auto& v = tree.node_vulnerability(n);
+      out << "  n" << n << " [shape=box, label=\"" << escape(v.cve_id) << "\\n(" << std::fixed
+          << std::setprecision(1) << v.attack_impact() << ", " << std::setprecision(2)
+          << v.attack_success_probability() << ")\"];\n";
+    } else {
+      out << "  n" << n << " [shape="
+          << (tree.node_type(n) == GateType::kAnd ? "triangle, label=\"AND\""
+                                                  : "invtriangle, label=\"OR\"")
+          << "];\n";
+      for (NodeId c : tree.node_children(n)) {
+        out << "  n" << n << " -> n" << c << ";\n";
+        stack.push_back(c);
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace patchsec::harm

@@ -1,0 +1,85 @@
+#include "patchsec/harm/harm.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace patchsec::harm {
+
+Harm::Harm(AttackGraph graph) : graph_(std::move(graph)) {}
+
+void Harm::attach_tree(GraphNodeId node, AttackTree tree) {
+  if (node >= graph_.node_count()) throw std::out_of_range("attach_tree: unknown node");
+  if (node == graph_.attacker()) throw std::invalid_argument("attacker carries no attack tree");
+  trees_.insert_or_assign(node, std::move(tree));
+}
+
+const AttackTree& Harm::tree(GraphNodeId node) const {
+  const auto it = trees_.find(node);
+  if (it == trees_.end()) throw std::out_of_range("no tree attached to node");
+  return it->second;
+}
+
+bool Harm::attackable(GraphNodeId node) const {
+  const auto it = trees_.find(node);
+  return it != trees_.end() && !it->second.infeasible();
+}
+
+double Harm::node_impact(GraphNodeId node) const { return tree(node).attack_impact(); }
+
+double Harm::node_probability(GraphNodeId node) const {
+  return tree(node).attack_success_probability();
+}
+
+std::vector<AttackPath> Harm::attack_paths() const {
+  std::vector<bool> mask(graph_.node_count(), false);
+  for (GraphNodeId n = 0; n < graph_.node_count(); ++n) mask[n] = attackable(n);
+
+  std::vector<AttackPath> out;
+  for (std::vector<GraphNodeId>& nodes : graph_.enumerate_attack_paths(mask)) {
+    AttackPath path;
+    path.impact = 0.0;
+    path.probability = 1.0;
+    for (GraphNodeId n : nodes) {
+      path.impact += node_impact(n);
+      path.probability *= node_probability(n);
+    }
+    path.nodes = std::move(nodes);
+    out.push_back(std::move(path));
+  }
+  return out;
+}
+
+SecurityMetrics Harm::evaluate() const {
+  SecurityMetrics m;
+  const std::vector<AttackPath> paths = attack_paths();
+  m.attack_paths = paths.size();
+
+  double miss_all = 1.0;  // prod (1 - asp_path)
+  std::set<GraphNodeId> entries;
+  for (const AttackPath& p : paths) {
+    m.attack_impact = std::max(m.attack_impact, p.impact);
+    miss_all *= (1.0 - p.probability);
+    if (!p.nodes.empty()) entries.insert(p.nodes.front());
+  }
+  m.attack_success_probability = paths.empty() ? 0.0 : 1.0 - miss_all;
+  m.entry_points = entries.size();
+
+  // NoEV counts leftover exploitable vulnerabilities on *every* server in
+  // the network, whether or not it still lies on a path.
+  for (const auto& [node, tree] : trees_) {
+    m.exploitable_vulnerabilities += tree.exploitable_vulnerability_count();
+  }
+  return m;
+}
+
+Harm Harm::after_patch(const std::function<bool(const nvd::Vulnerability&)>& patched) const {
+  Harm out(graph_);
+  for (const auto& [node, tree] : trees_) out.trees_.emplace(node, tree.after_patch(patched));
+  return out;
+}
+
+Harm Harm::after_critical_patch() const {
+  return after_patch([](const nvd::Vulnerability& v) { return v.is_critical(); });
+}
+
+}  // namespace patchsec::harm

@@ -1,0 +1,37 @@
+#pragma once
+// Small dense matrix with partial-pivot LU.  Used for direct steady-state
+// solves of the compact aggregated CTMCs (a handful of states) where an
+// iterative method is overkill.
+
+#include <cstddef>
+#include <vector>
+
+namespace patchsec::linalg {
+
+/// Row-major dense matrix of double.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c);
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const;
+
+  /// Solve A x = b via LU with partial pivoting.  Throws std::domain_error on
+  /// a (numerically) singular matrix and std::invalid_argument on shape
+  /// mismatch.  A must be square.
+  [[nodiscard]] std::vector<double> solve(std::vector<double> b) const;
+
+  /// Identity factory.
+  [[nodiscard]] static DenseMatrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace patchsec::linalg

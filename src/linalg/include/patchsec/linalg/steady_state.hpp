@@ -1,0 +1,56 @@
+#pragma once
+// Steady-state solvers for irreducible CTMC generators: find the probability
+// row vector pi with pi * Q = 0 and sum(pi) = 1.
+//
+// Two methods are provided:
+//  * Power iteration on the uniformized DTMC  P = I + Q / Lambda.  Robust,
+//    always applicable, linear convergence.
+//  * Gauss-Seidel / SOR sweeps on the normal equations  Q^T x = 0, which
+//    converge much faster on the stiff generators produced by patch models
+//    (rates spanning 1e-5 .. 1e+1 per hour).
+// The public entry point tries Gauss-Seidel first and falls back to power
+// iteration when the sweep stalls.
+
+#include <cstddef>
+#include <vector>
+
+#include "patchsec/linalg/csr_matrix.hpp"
+
+namespace patchsec::linalg {
+
+enum class SteadyStateMethod {
+  kPower,
+  kGaussSeidel,
+  kSor,
+  kAuto,  ///< Gauss-Seidel with power-iteration fallback.
+};
+
+struct SteadyStateOptions {
+  SteadyStateMethod method = SteadyStateMethod::kAuto;
+  double tolerance = 1e-12;     ///< max-norm of successive-iterate difference.
+  std::size_t max_iterations = 200000;
+  double sor_relaxation = 1.0;  ///< omega for kSor (1.0 == plain Gauss-Seidel).
+};
+
+struct SteadyStateResult {
+  std::vector<double> distribution;  ///< stationary probabilities, sums to 1.
+  std::size_t iterations = 0;
+  double residual = 0.0;  ///< max-norm of pi*Q at the returned iterate.
+  bool converged = false;
+};
+
+/// Solve pi * Q = 0 for a square generator Q (rows sum to ~0).  Throws
+/// std::invalid_argument when Q is not square or empty.  The caller is
+/// responsible for passing a generator restricted to a single recurrent class
+/// (the SRN layer guarantees this by construction from a reachability graph).
+[[nodiscard]] SteadyStateResult solve_steady_state(const CsrMatrix& generator,
+                                                   const SteadyStateOptions& options = {});
+
+/// Closed-form stationary distribution of a finite birth-death chain with
+/// birth rates lambda[i] (i -> i+1, i = 0..n-1) and death rates mu[i]
+/// (i+1 -> i).  Returns pi over states 0..n.  Used both as a fast path for
+/// the upper-layer redundancy chains and as an independent oracle in tests.
+[[nodiscard]] std::vector<double> birth_death_steady_state(const std::vector<double>& birth,
+                                                           const std::vector<double>& death);
+
+}  // namespace patchsec::linalg

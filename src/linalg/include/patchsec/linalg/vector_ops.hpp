@@ -1,0 +1,42 @@
+#pragma once
+// Small free-function toolkit over std::vector<double> used by the CTMC and
+// SRN solvers.  Kept header-only and allocation-conscious: every routine that
+// can write into a caller-provided buffer does so.
+
+#include <cstddef>
+#include <vector>
+
+namespace patchsec::linalg {
+
+/// x += alpha * y (sizes must match).
+void axpy(double alpha, const std::vector<double>& y, std::vector<double>& x);
+
+/// Dot product <x, y>.
+[[nodiscard]] double dot(const std::vector<double>& x, const std::vector<double>& y);
+
+/// L1 norm (sum of absolute values).
+[[nodiscard]] double norm1(const std::vector<double>& x);
+
+/// L2 norm.
+[[nodiscard]] double norm2(const std::vector<double>& x);
+
+/// Max norm.
+[[nodiscard]] double norm_inf(const std::vector<double>& x);
+
+/// max_i |x_i - y_i| ; sizes must match.
+[[nodiscard]] double max_abs_diff(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Scale in place: x *= alpha.
+void scale(std::vector<double>& x, double alpha);
+
+/// Normalize x so that sum(x) == 1.  Throws std::domain_error when the sum is
+/// not positive (a probability vector cannot be recovered).
+void normalize_probability(std::vector<double>& x);
+
+/// Sum of entries.
+[[nodiscard]] double sum(const std::vector<double>& x);
+
+/// true when every entry is finite (no NaN/Inf).
+[[nodiscard]] bool all_finite(const std::vector<double>& x);
+
+}  // namespace patchsec::linalg

@@ -1,0 +1,93 @@
+#include "patchsec/linalg/csr_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace patchsec::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> entries)
+    : rows_(rows), cols_(cols) {
+  for (const Triplet& t : entries) {
+    if (t.row >= rows_ || t.col >= cols_) {
+      throw std::out_of_range("CsrMatrix: triplet outside matrix shape");
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+
+  row_offsets_.assign(rows_ + 1, 0);
+  col_indices_.reserve(entries.size());
+  values_.reserve(entries.size());
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    row_offsets_[r] = values_.size();
+    while (i < entries.size() && entries[i].row == r) {
+      const std::size_t c = entries[i].col;
+      double v = 0.0;
+      while (i < entries.size() && entries[i].row == r && entries[i].col == c) {
+        v += entries[i].value;
+        ++i;
+      }
+      if (v != 0.0) {
+        col_indices_.push_back(c);
+        values_.push_back(v);
+      }
+    }
+  }
+  row_offsets_[rows_] = values_.size();
+}
+
+void CsrMatrix::left_multiply(const std::vector<double>& x, std::vector<double>& y) const {
+  if (x.size() != rows_) throw std::invalid_argument("left_multiply: size mismatch");
+  y.assign(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      y[col_indices_[k]] += xr * values_[k];
+    }
+  }
+}
+
+void CsrMatrix::right_multiply(const std::vector<double>& x, std::vector<double>& y) const {
+  if (x.size() != cols_) throw std::invalid_argument("right_multiply: size mismatch");
+  y.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      acc += values_[k] * x[col_indices_[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+double CsrMatrix::at(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_) throw std::out_of_range("CsrMatrix::at");
+  const auto begin = col_indices_.begin() + static_cast<std::ptrdiff_t>(row_offsets_[row]);
+  const auto end = col_indices_.begin() + static_cast<std::ptrdiff_t>(row_offsets_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_indices_.begin())];
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  std::vector<Triplet> entries;
+  entries.reserve(nnz());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      entries.push_back({col_indices_[k], r, values_[k]});
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(entries));
+}
+
+double CsrMatrix::row_sum(std::size_t row) const {
+  if (row >= rows_) throw std::out_of_range("CsrMatrix::row_sum");
+  double acc = 0.0;
+  for (std::size_t k = row_offsets_[row]; k < row_offsets_[row + 1]; ++k) acc += values_[k];
+  return acc;
+}
+
+}  // namespace patchsec::linalg

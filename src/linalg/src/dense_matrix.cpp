@@ -1,0 +1,77 @@
+#include "patchsec/linalg/dense_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace patchsec::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& DenseMatrix::operator()(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("DenseMatrix index");
+  return data_[r * cols_ + c];
+}
+
+double DenseMatrix::operator()(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("DenseMatrix index");
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> DenseMatrix::solve(std::vector<double> b) const {
+  if (rows_ != cols_) throw std::invalid_argument("DenseMatrix::solve: matrix not square");
+  if (b.size() != rows_) throw std::invalid_argument("DenseMatrix::solve: rhs size mismatch");
+  const std::size_t n = rows_;
+  std::vector<double> a = data_;  // working copy, factored in place
+
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t pivot = k;
+    double best = std::abs(a[perm[k] * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double cand = std::abs(a[perm[i] * n + k]);
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) throw std::domain_error("DenseMatrix::solve: singular matrix");
+    std::swap(perm[k], perm[pivot]);
+
+    const double akk = a[perm[k] * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = a[perm[i] * n + k] / akk;
+      a[perm[i] * n + k] = f;  // store multiplier
+      for (std::size_t j = k + 1; j < n; ++j) {
+        a[perm[i] * n + j] -= f * a[perm[k] * n + j];
+      }
+    }
+  }
+
+  // Forward substitution with permuted rhs.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= a[perm[i] * n + j] * y[j];
+    y[i] = acc;
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= a[perm[ii] * n + j] * x[j];
+    x[ii] = acc / a[perm[ii] * n + ii];
+  }
+  return x;
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+}  // namespace patchsec::linalg

@@ -1,0 +1,74 @@
+#include "patchsec/linalg/vector_ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace patchsec::linalg {
+
+namespace {
+void require_same_size(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("vector size mismatch");
+  }
+}
+}  // namespace
+
+void axpy(double alpha, const std::vector<double>& y, std::vector<double>& x) {
+  require_same_size(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += alpha * y[i];
+}
+
+double dot(const std::vector<double>& x, const std::vector<double>& y) {
+  require_same_size(x, y);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm1(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+double norm2(const std::vector<double>& x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(const std::vector<double>& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double max_abs_diff(const std::vector<double>& x, const std::vector<double>& y) {
+  require_same_size(x, y);
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, std::abs(x[i] - y[i]));
+  return m;
+}
+
+void scale(std::vector<double>& x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+void normalize_probability(std::vector<double>& x) {
+  const double s = sum(x);
+  if (!(s > 0.0) || !std::isfinite(s)) {
+    throw std::domain_error("cannot normalize: vector sum is not positive/finite");
+  }
+  scale(x, 1.0 / s);
+}
+
+double sum(const std::vector<double>& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc;
+}
+
+bool all_finite(const std::vector<double>& x) {
+  for (double v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace patchsec::linalg

@@ -1,0 +1,138 @@
+#include "patchsec/nvd/database.hpp"
+
+#include <stdexcept>
+
+namespace patchsec::nvd {
+
+const char* to_string(SoftwareLayer layer) noexcept {
+  return layer == SoftwareLayer::kOs ? "OS" : "application";
+}
+
+void VulnerabilityDatabase::add(Vulnerability v) {
+  if (v.cve_id.empty()) throw std::invalid_argument("vulnerability needs a CVE id");
+  for (const Vulnerability& existing : records_) {
+    if (existing.cve_id == v.cve_id && existing.product == v.product) {
+      throw std::invalid_argument("duplicate vulnerability record: " + v.cve_id + " on " +
+                                  v.product);
+    }
+  }
+  records_.push_back(std::move(v));
+}
+
+bool VulnerabilityDatabase::contains(const std::string& cve_id) const {
+  for (const Vulnerability& v : records_) {
+    if (v.cve_id == cve_id) return true;
+  }
+  return false;
+}
+
+const Vulnerability& VulnerabilityDatabase::find(const std::string& cve_id) const {
+  for (const Vulnerability& v : records_) {
+    if (v.cve_id == cve_id) return v;
+  }
+  throw std::out_of_range("no such CVE in database: " + cve_id);
+}
+
+std::vector<Vulnerability> VulnerabilityDatabase::by_product(const std::string& product) const {
+  std::vector<Vulnerability> out;
+  for (const Vulnerability& v : records_) {
+    if (v.product == product) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Vulnerability> VulnerabilityDatabase::exploitable() const {
+  std::vector<Vulnerability> out;
+  for (const Vulnerability& v : records_) {
+    if (v.remotely_exploitable) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Vulnerability> VulnerabilityDatabase::critical() const {
+  std::vector<Vulnerability> out;
+  for (const Vulnerability& v : records_) {
+    if (v.is_critical()) out.push_back(v);
+  }
+  return out;
+}
+
+namespace {
+
+Vulnerability make(const std::string& cve, const std::string& product, SoftwareLayer layer,
+                   const std::string& vector, bool exploitable) {
+  Vulnerability v;
+  v.cve_id = cve;
+  v.product = product;
+  v.layer = layer;
+  v.vector = cvss::CvssV2Vector::parse(vector);
+  v.remotely_exploitable = exploitable;
+  return v;
+}
+
+}  // namespace
+
+VulnerabilityDatabase make_paper_database() {
+  // Vectors are chosen so that the derived (attack impact, attack success
+  // probability) pairs equal Table I exactly:
+  //   AV:N/AC:L/Au:N/C:C/I:C/A:C -> (10.0, 1.00)  base 10.0  critical
+  //   AV:N/AC:L/Au:N/C:P/I:N/A:N -> ( 2.9, 1.00)  base  5.0
+  //   AV:L/AC:L/Au:N/C:C/I:C/A:C -> (10.0, 0.39)  base  7.1
+  //   AV:N/AC:L/Au:N/C:P/I:P/A:P -> ( 6.4, 1.00)  base  7.5
+  //   AV:N/AC:M/Au:N/C:P/I:N/A:N -> ( 2.9, 0.86)  base  4.3
+  constexpr const char* kRemoteFull = "AV:N/AC:L/Au:N/C:C/I:C/A:C";
+  constexpr const char* kRemotePartialC = "AV:N/AC:L/Au:N/C:P/I:N/A:N";
+  constexpr const char* kLocalFull = "AV:L/AC:L/Au:N/C:C/I:C/A:C";
+  constexpr const char* kRemotePartialAll = "AV:N/AC:L/Au:N/C:P/I:P/A:P";
+  constexpr const char* kRemoteMediumPartialC = "AV:N/AC:M/Au:N/C:P/I:N/A:N";
+
+  VulnerabilityDatabase db;
+  // --- DNS server: Windows Server 2012 R2 + Microsoft DNS ---
+  db.add(make("CVE-2016-3227", "Microsoft DNS", SoftwareLayer::kApplication, kRemoteFull, true));
+  // Two unnamed critical Windows OS vulnerabilities (Sec. III-D1: "two
+  // critical vulnerabilities in its Windows OS"); counted for patching only.
+  db.add(make("NVD-WIN2012R2-CRIT-1", "Windows Server 2012 R2", SoftwareLayer::kOs, kRemoteFull,
+              false));
+  db.add(make("NVD-WIN2012R2-CRIT-2", "Windows Server 2012 R2", SoftwareLayer::kOs, kRemoteFull,
+              false));
+
+  // --- Web server: Red Hat Enterprise Linux + Apache HTTP stack ---
+  db.add(make("CVE-2016-4448", "libxml2 (RHEL)", SoftwareLayer::kOs, kRemoteFull, true));
+  db.add(make("CVE-2015-4602", "PHP", SoftwareLayer::kApplication, kRemoteFull, true));
+  db.add(make("CVE-2015-4603", "PHP", SoftwareLayer::kApplication, kRemoteFull, true));
+  db.add(make("CVE-2016-4979", "Apache HTTP", SoftwareLayer::kApplication, kRemotePartialC, true));
+  db.add(make("CVE-2016-4805", "Linux kernel (RHEL)", SoftwareLayer::kOs, kLocalFull, true));
+
+  // --- Application server: Oracle Linux 7 + Oracle WebLogic ---
+  db.add(make("CVE-2016-3586", "Oracle WebLogic", SoftwareLayer::kApplication, kRemoteFull, true));
+  db.add(make("CVE-2016-3510", "Oracle WebLogic", SoftwareLayer::kApplication, kRemoteFull, true));
+  db.add(make("CVE-2016-3499", "Oracle WebLogic", SoftwareLayer::kApplication, kRemoteFull, true));
+  db.add(make("CVE-2016-0638", "Oracle WebLogic", SoftwareLayer::kApplication, kRemotePartialAll,
+              true));
+  db.add(make("CVE-2016-4997", "Linux kernel (Oracle Linux 7, app tier)", SoftwareLayer::kOs,
+              kLocalFull, true));
+  // Three unnamed critical OS vulnerabilities driving the 30-minute OS patch.
+  db.add(make("NVD-OL7-APP-CRIT-1", "Oracle Linux 7 (app tier)", SoftwareLayer::kOs, kRemoteFull,
+              false));
+  db.add(make("NVD-OL7-APP-CRIT-2", "Oracle Linux 7 (app tier)", SoftwareLayer::kOs, kRemoteFull,
+              false));
+  db.add(make("NVD-OL7-APP-CRIT-3", "Oracle Linux 7 (app tier)", SoftwareLayer::kOs, kRemoteFull,
+              false));
+
+  // --- Database server: Oracle Linux 7 + MySQL ---
+  db.add(make("CVE-2016-6662", "MySQL", SoftwareLayer::kApplication, kRemoteFull, true));
+  db.add(make("CVE-2016-0639", "MySQL", SoftwareLayer::kApplication, kRemoteFull, true));
+  db.add(make("CVE-2015-3152", "MySQL", SoftwareLayer::kApplication, kRemoteMediumPartialC, true));
+  db.add(make("CVE-2016-3471", "MySQL", SoftwareLayer::kApplication, kLocalFull, true));
+  db.add(make("CVE-2016-4997", "Linux kernel (Oracle Linux 7, db tier)", SoftwareLayer::kOs,
+              kLocalFull, true));
+  db.add(make("NVD-OL7-DB-CRIT-1", "Oracle Linux 7 (db tier)", SoftwareLayer::kOs, kRemoteFull,
+              false));
+  db.add(make("NVD-OL7-DB-CRIT-2", "Oracle Linux 7 (db tier)", SoftwareLayer::kOs, kRemoteFull,
+              false));
+  db.add(make("NVD-OL7-DB-CRIT-3", "Oracle Linux 7 (db tier)", SoftwareLayer::kOs, kRemoteFull,
+              false));
+  return db;
+}
+
+}  // namespace patchsec::nvd

@@ -1,0 +1,43 @@
+#pragma once
+// User-oriented performance (paper Sec. V, "user oriented performance"
+// extension): M/M/c queueing analysis of a server tier.  Requests arrive
+// Poisson(lambda), each of the c identical up-servers serves exp(mu);
+// Erlang-C gives waiting probability, mean waiting and response times.
+
+#include <cstddef>
+
+namespace patchsec::perf {
+
+/// Parameters of one M/M/c station.
+struct MmcParameters {
+  double arrival_rate = 0.0;  ///< lambda, requests per hour.
+  double service_rate = 0.0;  ///< mu per server, requests per hour.
+  std::size_t servers = 1;    ///< c, number of running servers.
+};
+
+/// Closed-form M/M/c results.
+struct MmcResult {
+  double utilization = 0.0;        ///< rho = lambda / (c mu), must be < 1.
+  double wait_probability = 0.0;   ///< Erlang-C: P(request queues).
+  double mean_queue_length = 0.0;  ///< Lq.
+  double mean_waiting_time = 0.0;  ///< Wq (hours).
+  double mean_response_time = 0.0; ///< W = Wq + 1/mu (hours).
+  double mean_in_system = 0.0;     ///< L = lambda W.
+  bool stable = false;             ///< rho < 1.
+};
+
+/// Solve an M/M/c queue.  Throws std::invalid_argument on non-positive
+/// rates or zero servers.  An unstable queue (rho >= 1) returns
+/// stable=false with infinite waiting metrics.
+[[nodiscard]] MmcResult solve_mmc(const MmcParameters& params);
+
+/// Erlang-C probability of waiting, exposed for tests:
+/// C(c, a) with offered load a = lambda/mu.
+[[nodiscard]] double erlang_c(std::size_t servers, double offered_load);
+
+/// Mean response time of a tandem of independent M/M/c stations (Jackson
+/// network with a single chain): the sum of per-station response times.
+/// Any unstable station makes the result infinite.
+[[nodiscard]] double tandem_response_time(const MmcParameters* stations, std::size_t count);
+
+}  // namespace patchsec::perf

@@ -1,0 +1,43 @@
+#pragma once
+// Performability: composing the availability model with the queueing model.
+// The number of running servers per tier fluctuates as patches take servers
+// down; the user-visible mean response time is the expectation of the tandem
+// M/M/c response time over the steady-state up-server distribution of every
+// tier (loss of a tier, or an unstable queue, counts as an outage).
+
+#include <map>
+
+#include "patchsec/avail/aggregation.hpp"
+#include "patchsec/enterprise/design.hpp"
+#include "patchsec/perf/mmc_queue.hpp"
+
+namespace patchsec::perf {
+
+/// Workload description: external arrival rate plus per-tier per-server
+/// service rates (requests/hour).  Tiers with zero servers in the design are
+/// skipped (no station).
+struct Workload {
+  double arrival_rate = 0.0;
+  std::map<enterprise::ServerRole, double> service_rate;
+};
+
+struct PerformabilityResult {
+  /// E[response time | system operational], hours.
+  double mean_response_time = 0.0;
+  /// P(system operational AND all stations stable).
+  double service_probability = 0.0;
+  /// P(some tier fully down or saturated by the remaining servers).
+  double outage_probability = 0.0;
+};
+
+/// Evaluate the expected response time of a redundancy design under the
+/// patch schedule.  Per-tier up-server counts are distributed per the
+/// aggregated birth-death model (the same distribution behind COA); tiers
+/// are independent, so the expectation factorizes over the joint support.
+/// Throws std::invalid_argument when the workload misses a deployed tier.
+[[nodiscard]] PerformabilityResult evaluate_performability(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, avail::AggregatedRates>& rates,
+    const Workload& workload);
+
+}  // namespace patchsec::perf

@@ -1,0 +1,65 @@
+#include "patchsec/perf/mmc_queue.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace patchsec::perf {
+
+double erlang_c(std::size_t servers, double offered_load) {
+  if (servers == 0) throw std::invalid_argument("erlang_c: need at least one server");
+  if (!(offered_load >= 0.0)) throw std::invalid_argument("erlang_c: negative offered load");
+  const double c = static_cast<double>(servers);
+  if (offered_load >= c) return 1.0;  // saturated: everyone waits
+
+  // Iterative Erlang-B then convert to Erlang-C (numerically stable; no
+  // factorials).
+  double b = 1.0;  // Erlang-B with 0 servers
+  for (std::size_t k = 1; k <= servers; ++k) {
+    b = offered_load * b / (static_cast<double>(k) + offered_load * b);
+  }
+  const double rho = offered_load / c;
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+MmcResult solve_mmc(const MmcParameters& params) {
+  if (!(params.arrival_rate > 0.0)) throw std::invalid_argument("solve_mmc: arrival rate");
+  if (!(params.service_rate > 0.0)) throw std::invalid_argument("solve_mmc: service rate");
+  if (params.servers == 0) throw std::invalid_argument("solve_mmc: zero servers");
+
+  const double a = params.arrival_rate / params.service_rate;  // offered load
+  const double c = static_cast<double>(params.servers);
+  MmcResult r;
+  r.utilization = a / c;
+  if (r.utilization >= 1.0) {
+    r.stable = false;
+    r.wait_probability = 1.0;
+    r.mean_queue_length = std::numeric_limits<double>::infinity();
+    r.mean_waiting_time = std::numeric_limits<double>::infinity();
+    r.mean_response_time = std::numeric_limits<double>::infinity();
+    r.mean_in_system = std::numeric_limits<double>::infinity();
+    return r;
+  }
+  r.stable = true;
+  r.wait_probability = erlang_c(params.servers, a);
+  r.mean_queue_length = r.wait_probability * r.utilization / (1.0 - r.utilization);
+  r.mean_waiting_time = r.mean_queue_length / params.arrival_rate;
+  r.mean_response_time = r.mean_waiting_time + 1.0 / params.service_rate;
+  r.mean_in_system = params.arrival_rate * r.mean_response_time;
+  return r;
+}
+
+double tandem_response_time(const MmcParameters* stations, std::size_t count) {
+  if (stations == nullptr || count == 0) {
+    throw std::invalid_argument("tandem_response_time: no stations");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const MmcResult r = solve_mmc(stations[i]);
+    if (!r.stable) return std::numeric_limits<double>::infinity();
+    total += r.mean_response_time;
+  }
+  return total;
+}
+
+}  // namespace patchsec::perf

@@ -1,0 +1,104 @@
+#include "patchsec/perf/performability.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "patchsec/linalg/steady_state.hpp"
+
+namespace patchsec::perf {
+
+namespace {
+
+constexpr std::array<enterprise::ServerRole, enterprise::kRoleCount> kRoles{
+    enterprise::ServerRole::kDns, enterprise::ServerRole::kWeb, enterprise::ServerRole::kApp,
+    enterprise::ServerRole::kDb};
+
+struct Tier {
+  enterprise::ServerRole role;
+  unsigned n = 0;
+  double service_rate = 0.0;
+  std::vector<double> up_distribution;  // pi[k] = P(k servers up), k = 0..n
+};
+
+}  // namespace
+
+PerformabilityResult evaluate_performability(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, avail::AggregatedRates>& rates,
+    const Workload& workload) {
+  if (!(workload.arrival_rate > 0.0)) {
+    throw std::invalid_argument("performability: arrival rate must be positive");
+  }
+
+  std::vector<Tier> tiers;
+  for (enterprise::ServerRole role : kRoles) {
+    const unsigned n = design.count(role);
+    if (n == 0) continue;
+    const auto rate_it = rates.find(role);
+    if (rate_it == rates.end()) throw std::invalid_argument("performability: missing rates");
+    const auto svc_it = workload.service_rate.find(role);
+    if (svc_it == workload.service_rate.end() || !(svc_it->second > 0.0)) {
+      throw std::invalid_argument("performability: missing/invalid service rate for tier");
+    }
+    Tier tier;
+    tier.role = role;
+    tier.n = n;
+    tier.service_rate = svc_it->second;
+    // Same per-tier birth-death as COA: k up -> k-1 at k*lambda_eq,
+    // k -> k+1 at (n-k)*mu_eq.
+    std::vector<double> birth(n), death(n);
+    for (unsigned i = 0; i < n; ++i) {
+      birth[i] = static_cast<double>(n - i) * rate_it->second.mu_eq;
+      death[i] = static_cast<double>(i + 1) * rate_it->second.lambda_eq;
+    }
+    tier.up_distribution = linalg::birth_death_steady_state(birth, death);
+    tiers.push_back(std::move(tier));
+  }
+  if (tiers.empty()) throw std::invalid_argument("performability: empty design");
+
+  // Enumerate the joint up-server configurations (product of per-tier
+  // supports; tiny for realistic designs) and take the expectation.
+  PerformabilityResult result;
+  std::vector<unsigned> ups(tiers.size(), 0);
+  double weighted_response = 0.0;
+
+  const std::size_t t_count = tiers.size();
+  const auto recurse = [&](auto&& self, std::size_t depth, double prob) -> void {
+    if (prob == 0.0) return;
+    if (depth == t_count) {
+      // All tiers alive?
+      for (std::size_t i = 0; i < t_count; ++i) {
+        if (ups[i] == 0) {
+          result.outage_probability += prob;
+          return;
+        }
+      }
+      std::vector<MmcParameters> stations;
+      stations.reserve(t_count);
+      for (std::size_t i = 0; i < t_count; ++i) {
+        stations.push_back({workload.arrival_rate, tiers[i].service_rate, ups[i]});
+      }
+      const double response = tandem_response_time(stations.data(), stations.size());
+      if (!std::isfinite(response)) {
+        result.outage_probability += prob;  // saturated: effective outage
+        return;
+      }
+      result.service_probability += prob;
+      weighted_response += prob * response;
+      return;
+    }
+    for (unsigned k = 0; k <= tiers[depth].n; ++k) {
+      ups[depth] = k;
+      self(self, depth + 1, prob * tiers[depth].up_distribution[k]);
+    }
+  };
+  recurse(recurse, 0, 1.0);
+
+  result.mean_response_time =
+      result.service_probability > 0.0 ? weighted_response / result.service_probability : 0.0;
+  return result;
+}
+
+}  // namespace patchsec::perf

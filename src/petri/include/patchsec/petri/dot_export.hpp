@@ -1,0 +1,18 @@
+#pragma once
+// Graphviz DOT export of SRN structure — places, transitions, arcs — for
+// documentation and model debugging (the Fig. 4/5 diagrams of the paper can
+// be regenerated from the code this way).
+
+#include <string>
+
+#include "patchsec/petri/srn_model.hpp"
+
+namespace patchsec::petri {
+
+/// Render the net structure as a DOT digraph.  Places are circles (labelled
+/// with initial tokens when non-zero), timed transitions are white boxes,
+/// immediate transitions are filled bars; inhibitor arcs get the classic
+/// odot arrowhead.  Guards are marked with a dagger on the transition label.
+[[nodiscard]] std::string to_dot(const SrnModel& model, const std::string& graph_name = "srn");
+
+}  // namespace patchsec::petri

@@ -1,0 +1,32 @@
+#pragma once
+// Marking = token count per place.  Kept as a flat vector so it can be used
+// as a hash key during state-space exploration.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace patchsec::petri {
+
+using TokenCount = std::uint32_t;
+using Marking = std::vector<TokenCount>;
+
+/// FNV-1a over the token counts; good enough for the small dense markings of
+/// availability models.
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (TokenCount t : m) {
+      h ^= static_cast<std::size_t>(t) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// "[1 0 2 ...]" — debugging aid.
+[[nodiscard]] std::string to_string(const Marking& m);
+
+}  // namespace patchsec::petri

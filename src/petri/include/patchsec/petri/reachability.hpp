@@ -1,0 +1,71 @@
+#pragma once
+// Reachability-graph generation with on-the-fly vanishing-marking
+// elimination: the SRN is lowered to a CTMC over tangible markings exactly as
+// SPNP does it.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "patchsec/ctmc/ctmc.hpp"
+#include "patchsec/petri/marking.hpp"
+#include "patchsec/petri/srn_model.hpp"
+
+namespace patchsec::petri {
+
+struct ReachabilityOptions {
+  /// Abort exploration when the tangible state space exceeds this bound.
+  std::size_t max_tangible_markings = 1'000'000;
+  /// Abort when a chain of immediate firings exceeds this depth (indicates a
+  /// vanishing loop, which the supported model class must not contain).
+  std::size_t max_vanishing_depth = 4096;
+};
+
+/// The lowered model: tangible markings, the CTMC over them, and the initial
+/// probability distribution (the initial marking may itself be vanishing, in
+/// which case its probability mass is spread over the tangibles it resolves
+/// to).
+struct ReachabilityGraph {
+  std::vector<Marking> tangible_markings;
+  ctmc::Ctmc chain;
+  std::vector<double> initial_distribution;
+  std::size_t vanishing_markings_seen = 0;
+
+  [[nodiscard]] std::size_t tangible_count() const noexcept { return tangible_markings.size(); }
+
+  /// Index of a tangible marking; throws std::out_of_range when unknown.
+  [[nodiscard]] std::size_t index_of(const Marking& m) const;
+
+  std::unordered_map<Marking, std::size_t, MarkingHash> index;
+};
+
+/// Explore the net from its initial marking.  Throws std::runtime_error when
+/// a bound of `options` is exceeded (vanishing loop / state-space blow-up)
+/// and std::domain_error when the initial marking deadlocks immediately.
+[[nodiscard]] ReachabilityGraph build_reachability_graph(const SrnModel& model,
+                                                         const ReachabilityOptions& options = {});
+
+/// Convenience analyzer: builds the graph once, solves the steady state once
+/// and evaluates rate rewards against it.
+class SrnAnalyzer {
+ public:
+  explicit SrnAnalyzer(const SrnModel& model, const ReachabilityOptions& options = {});
+
+  [[nodiscard]] const ReachabilityGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const std::vector<double>& steady_state() const noexcept { return steady_; }
+
+  /// Expected steady-state rate reward  E[r] = sum_i pi_i r(m_i).
+  [[nodiscard]] double expected_reward(const RewardFunction& reward) const;
+
+  /// Steady-state probability of the set of markings satisfying `predicate`.
+  [[nodiscard]] double probability(const std::function<bool(const Marking&)>& predicate) const;
+
+  /// Expected number of tokens in a place at steady state.
+  [[nodiscard]] double mean_tokens(PlaceId place) const;
+
+ private:
+  ReachabilityGraph graph_;
+  std::vector<double> steady_;
+};
+
+}  // namespace patchsec::petri

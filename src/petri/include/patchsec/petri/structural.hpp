@@ -1,0 +1,31 @@
+#pragma once
+// Structural/behavioural analysis of SRNs on top of the reachability graph:
+// dead transitions, place bounds and conservation — cheap model-debugging
+// checks an SPNP user would run before trusting steady-state numbers.
+
+#include <vector>
+
+#include "patchsec/petri/reachability.hpp"
+#include "patchsec/petri/srn_model.hpp"
+
+namespace patchsec::petri {
+
+struct StructuralReport {
+  /// Transitions never enabled in any reachable (tangible or intermediate)
+  /// marking.  Dead timed transitions usually indicate a wrong guard.
+  std::vector<TransitionId> dead_transitions;
+  /// Max token count observed per place over tangible markings.
+  std::vector<TokenCount> place_bounds;
+  /// Largest total token count over tangible markings (boundedness witness).
+  TokenCount max_total_tokens = 0;
+  /// True when every tangible marking carries the same total token count
+  /// (the net conserves tokens — holds for all the availability models).
+  bool conservative = true;
+};
+
+/// Analyze a net.  The reachability graph is rebuilt internally; pass the
+/// same options used for analysis to match the explored space.
+[[nodiscard]] StructuralReport analyze_structure(const SrnModel& model,
+                                                 const ReachabilityOptions& options = {});
+
+}  // namespace patchsec::petri

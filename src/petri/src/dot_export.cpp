@@ -1,0 +1,59 @@
+#include "patchsec/petri/dot_export.hpp"
+
+#include <sstream>
+
+namespace patchsec::petri {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const SrnModel& model, const std::string& graph_name) {
+  std::ostringstream out;
+  out << "digraph \"" << escape(graph_name) << "\" {\n";
+  out << "  rankdir=LR;\n";
+  const Marking m0 = model.initial_marking();
+  for (PlaceId p = 0; p < model.place_count(); ++p) {
+    out << "  p" << p << " [shape=circle, label=\"" << escape(model.place_name(p));
+    if (m0[p] > 0) out << "\\n(" << m0[p] << ")";
+    out << "\"];\n";
+  }
+  for (TransitionId t = 0; t < model.transition_count(); ++t) {
+    const bool timed = model.transition_kind(t) == TransitionKind::kTimed;
+    std::string label = model.transition_name(t);
+    if (model.has_guard(t)) label += " +";  // guarded (dagger substitute)
+    out << "  t" << t << " [shape=box, " << (timed ? "style=\"\"" : "style=filled, height=0.1")
+        << ", label=\"" << escape(label) << "\"];\n";
+  }
+  for (TransitionId t = 0; t < model.transition_count(); ++t) {
+    for (const Arc& a : model.input_arcs(t)) {
+      out << "  p" << a.place << " -> t" << t;
+      if (a.multiplicity > 1) out << " [label=\"" << a.multiplicity << "\"]";
+      out << ";\n";
+    }
+    for (const Arc& a : model.output_arcs(t)) {
+      out << "  t" << t << " -> p" << a.place;
+      if (a.multiplicity > 1) out << " [label=\"" << a.multiplicity << "\"]";
+      out << ";\n";
+    }
+    for (const Arc& a : model.inhibitor_arcs(t)) {
+      out << "  p" << a.place << " -> t" << t << " [arrowhead=odot";
+      if (a.multiplicity > 1) out << ", label=\"" << a.multiplicity << "\"";
+      out << "];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace patchsec::petri

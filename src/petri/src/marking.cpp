@@ -1,0 +1,18 @@
+#include "patchsec/petri/marking.hpp"
+
+#include <sstream>
+
+namespace patchsec::petri {
+
+std::string to_string(const Marking& m) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (i != 0) out << ' ';
+    out << m[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace patchsec::petri

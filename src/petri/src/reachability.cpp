@@ -1,0 +1,142 @@
+#include "patchsec/petri/reachability.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace patchsec::petri {
+
+namespace {
+
+// Resolve a (possibly vanishing) marking into a probability distribution over
+// tangible markings by following immediate firings.  `scale` is the incoming
+// probability mass.
+void resolve_vanishing(const SrnModel& model, const Marking& m, double scale,
+                       std::unordered_map<Marking, double, MarkingHash>& out,
+                       std::size_t depth, const ReachabilityOptions& options,
+                       std::size_t& vanishing_seen) {
+  if (depth > options.max_vanishing_depth) {
+    throw std::runtime_error("SRN contains a vanishing loop (immediate-transition cycle)");
+  }
+  const std::vector<TransitionId> immediates = model.enabled_immediates(m);
+  if (immediates.empty()) {
+    out[m] += scale;
+    return;
+  }
+  ++vanishing_seen;
+  double total_weight = 0.0;
+  for (TransitionId t : immediates) total_weight += model.weight(t);
+  for (TransitionId t : immediates) {
+    const double p = model.weight(t) / total_weight;
+    resolve_vanishing(model, model.fire(t, m), scale * p, out, depth + 1, options,
+                      vanishing_seen);
+  }
+}
+
+}  // namespace
+
+std::size_t ReachabilityGraph::index_of(const Marking& m) const {
+  const auto it = index.find(m);
+  if (it == index.end()) throw std::out_of_range("unknown tangible marking " + to_string(m));
+  return it->second;
+}
+
+ReachabilityGraph build_reachability_graph(const SrnModel& model,
+                                           const ReachabilityOptions& options) {
+  ReachabilityGraph graph;
+
+  const auto intern = [&](const Marking& m) -> std::size_t {
+    const auto it = graph.index.find(m);
+    if (it != graph.index.end()) return it->second;
+    if (graph.tangible_markings.size() >= options.max_tangible_markings) {
+      throw std::runtime_error("tangible state space exceeds configured bound");
+    }
+    const std::size_t id = graph.tangible_markings.size();
+    graph.tangible_markings.push_back(m);
+    graph.index.emplace(m, id);
+    return id;
+  };
+
+  // Resolve the initial marking (it may be vanishing).
+  std::unordered_map<Marking, double, MarkingHash> initial;
+  resolve_vanishing(model, model.initial_marking(), 1.0, initial, 0, options,
+                    graph.vanishing_markings_seen);
+
+  std::deque<std::size_t> frontier;
+  for (const auto& [m, p] : initial) frontier.push_back(intern(m));
+
+  // Edges accumulated as (from, to) -> rate; CTMC construction afterwards so
+  // parallel edges merge.
+  std::unordered_map<std::size_t, std::unordered_map<std::size_t, double>> edges;
+
+  std::vector<bool> expanded;
+  while (!frontier.empty()) {
+    const std::size_t from = frontier.front();
+    frontier.pop_front();
+    if (from < expanded.size() && expanded[from]) continue;
+    if (expanded.size() < graph.tangible_markings.size()) {
+      expanded.resize(graph.tangible_markings.size(), false);
+    }
+    if (expanded[from]) continue;
+    expanded[from] = true;
+
+    const Marking m = graph.tangible_markings[from];  // copy: vector may grow
+    for (TransitionId t : model.enabled_timed(m)) {
+      const double r = model.rate(t, m);
+      std::unordered_map<Marking, double, MarkingHash> successors;
+      resolve_vanishing(model, model.fire(t, m), 1.0, successors, 0, options,
+                        graph.vanishing_markings_seen);
+      for (const auto& [succ, p] : successors) {
+        const std::size_t to = intern(succ);
+        if (to >= expanded.size() || !expanded[to]) frontier.push_back(to);
+        if (to == from) continue;  // net effect is a self loop: drop
+        edges[from][to] += r * p;
+      }
+    }
+  }
+
+  graph.chain.add_states(graph.tangible_count());
+  for (const auto& [from, row] : edges) {
+    for (const auto& [to, rate] : row) graph.chain.add_transition(from, to, rate);
+  }
+
+  graph.initial_distribution.assign(graph.tangible_count(), 0.0);
+  for (const auto& [m, p] : initial) graph.initial_distribution[graph.index_of(m)] = p;
+  return graph;
+}
+
+SrnAnalyzer::SrnAnalyzer(const SrnModel& model, const ReachabilityOptions& options)
+    : graph_(build_reachability_graph(model, options)) {
+  const linalg::SteadyStateResult ss = graph_.chain.steady_state();
+  if (!ss.converged && ss.residual > 1e-6) {
+    throw std::runtime_error("SRN steady-state solve failed to converge");
+  }
+  steady_ = ss.distribution;
+}
+
+double SrnAnalyzer::expected_reward(const RewardFunction& reward) const {
+  if (!reward) throw std::invalid_argument("expected_reward: null reward");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < graph_.tangible_count(); ++i) {
+    acc += steady_[i] * reward(graph_.tangible_markings[i]);
+  }
+  return acc;
+}
+
+double SrnAnalyzer::probability(const std::function<bool(const Marking&)>& predicate) const {
+  if (!predicate) throw std::invalid_argument("probability: null predicate");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < graph_.tangible_count(); ++i) {
+    if (predicate(graph_.tangible_markings[i])) acc += steady_[i];
+  }
+  return acc;
+}
+
+double SrnAnalyzer::mean_tokens(PlaceId place) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < graph_.tangible_count(); ++i) {
+    acc += steady_[i] * static_cast<double>(graph_.tangible_markings[i].at(place));
+  }
+  return acc;
+}
+
+}  // namespace patchsec::petri

@@ -1,0 +1,208 @@
+#include "patchsec/petri/srn_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace patchsec::petri {
+
+PlaceId SrnModel::add_place(std::string name, TokenCount initial_tokens) {
+  if (name.empty()) throw std::invalid_argument("add_place: empty name");
+  for (const Place& p : places_) {
+    if (p.name == name) throw std::invalid_argument("add_place: duplicate name " + name);
+  }
+  places_.push_back({std::move(name), initial_tokens});
+  return places_.size() - 1;
+}
+
+TransitionId SrnModel::add_timed_transition(std::string name, double rate) {
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    throw std::invalid_argument("add_timed_transition: rate must be positive: " + name);
+  }
+  return add_timed_transition(std::move(name), [rate](const Marking&) { return rate; });
+}
+
+TransitionId SrnModel::add_timed_transition(std::string name, RateFunction rate) {
+  if (name.empty()) throw std::invalid_argument("add_timed_transition: empty name");
+  if (!rate) throw std::invalid_argument("add_timed_transition: null rate function");
+  for (const Transition& t : transitions_) {
+    if (t.name == name) throw std::invalid_argument("duplicate transition name " + name);
+  }
+  Transition t;
+  t.name = std::move(name);
+  t.kind = TransitionKind::kTimed;
+  t.rate = std::move(rate);
+  transitions_.push_back(std::move(t));
+  return transitions_.size() - 1;
+}
+
+TransitionId SrnModel::add_immediate_transition(std::string name, double weight,
+                                                unsigned priority) {
+  if (name.empty()) throw std::invalid_argument("add_immediate_transition: empty name");
+  if (!(weight > 0.0)) throw std::invalid_argument("immediate weight must be positive: " + name);
+  for (const Transition& t : transitions_) {
+    if (t.name == name) throw std::invalid_argument("duplicate transition name " + name);
+  }
+  Transition t;
+  t.name = std::move(name);
+  t.kind = TransitionKind::kImmediate;
+  t.weight = weight;
+  t.priority = priority;
+  transitions_.push_back(std::move(t));
+  return transitions_.size() - 1;
+}
+
+void SrnModel::add_input_arc(TransitionId t, PlaceId p, TokenCount multiplicity) {
+  check_transition(t);
+  check_place(p);
+  if (multiplicity == 0) throw std::invalid_argument("arc multiplicity must be positive");
+  transitions_[t].inputs.push_back({p, multiplicity});
+}
+
+void SrnModel::add_output_arc(TransitionId t, PlaceId p, TokenCount multiplicity) {
+  check_transition(t);
+  check_place(p);
+  if (multiplicity == 0) throw std::invalid_argument("arc multiplicity must be positive");
+  transitions_[t].outputs.push_back({p, multiplicity});
+}
+
+void SrnModel::add_inhibitor_arc(TransitionId t, PlaceId p, TokenCount multiplicity) {
+  check_transition(t);
+  check_place(p);
+  if (multiplicity == 0) throw std::invalid_argument("arc multiplicity must be positive");
+  transitions_[t].inhibitors.push_back({p, multiplicity});
+}
+
+void SrnModel::set_guard(TransitionId t, Guard guard) {
+  check_transition(t);
+  transitions_[t].guard = std::move(guard);
+}
+
+PlaceId SrnModel::place(const std::string& name) const {
+  for (PlaceId i = 0; i < places_.size(); ++i) {
+    if (places_[i].name == name) return i;
+  }
+  throw std::out_of_range("no such place: " + name);
+}
+
+TransitionId SrnModel::transition(const std::string& name) const {
+  for (TransitionId i = 0; i < transitions_.size(); ++i) {
+    if (transitions_[i].name == name) return i;
+  }
+  throw std::out_of_range("no such transition: " + name);
+}
+
+const std::vector<Arc>& SrnModel::input_arcs(TransitionId t) const {
+  check_transition(t);
+  return transitions_[t].inputs;
+}
+
+const std::vector<Arc>& SrnModel::output_arcs(TransitionId t) const {
+  check_transition(t);
+  return transitions_[t].outputs;
+}
+
+const std::vector<Arc>& SrnModel::inhibitor_arcs(TransitionId t) const {
+  check_transition(t);
+  return transitions_[t].inhibitors;
+}
+
+bool SrnModel::has_guard(TransitionId t) const {
+  check_transition(t);
+  return static_cast<bool>(transitions_[t].guard);
+}
+
+Marking SrnModel::initial_marking() const {
+  Marking m(places_.size());
+  for (std::size_t i = 0; i < places_.size(); ++i) m[i] = places_[i].initial;
+  return m;
+}
+
+bool SrnModel::is_enabled(TransitionId t, const Marking& m) const {
+  check_transition(t);
+  if (m.size() != places_.size()) throw std::invalid_argument("marking size mismatch");
+  const Transition& tr = transitions_[t];
+  for (const Arc& a : tr.inputs) {
+    if (m[a.place] < a.multiplicity) return false;
+  }
+  for (const Arc& a : tr.inhibitors) {
+    if (m[a.place] >= a.multiplicity) return false;
+  }
+  if (tr.guard && !tr.guard(m)) return false;
+  return true;
+}
+
+double SrnModel::rate(TransitionId t, const Marking& m) const {
+  check_transition(t);
+  const Transition& tr = transitions_[t];
+  if (tr.kind != TransitionKind::kTimed) {
+    throw std::logic_error("rate() called on immediate transition " + tr.name);
+  }
+  const double r = tr.rate(m);
+  if (!(r > 0.0) || !std::isfinite(r)) {
+    throw std::domain_error("rate function of " + tr.name + " returned non-positive value");
+  }
+  return r;
+}
+
+double SrnModel::weight(TransitionId t) const {
+  check_transition(t);
+  if (transitions_[t].kind != TransitionKind::kImmediate) {
+    throw std::logic_error("weight() called on timed transition");
+  }
+  return transitions_[t].weight;
+}
+
+unsigned SrnModel::priority(TransitionId t) const {
+  check_transition(t);
+  if (transitions_[t].kind != TransitionKind::kImmediate) {
+    throw std::logic_error("priority() called on timed transition");
+  }
+  return transitions_[t].priority;
+}
+
+Marking SrnModel::fire(TransitionId t, const Marking& m) const {
+  if (!is_enabled(t, m)) {
+    throw std::logic_error("fire: transition " + transitions_[t].name + " not enabled in " +
+                           petri::to_string(m));
+  }
+  Marking next = m;
+  const Transition& tr = transitions_[t];
+  for (const Arc& a : tr.inputs) next[a.place] -= a.multiplicity;
+  for (const Arc& a : tr.outputs) next[a.place] += a.multiplicity;
+  return next;
+}
+
+std::vector<TransitionId> SrnModel::enabled_immediates(const Marking& m) const {
+  std::vector<TransitionId> enabled;
+  unsigned best_priority = 0;
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    if (transitions_[t].kind != TransitionKind::kImmediate) continue;
+    if (!is_enabled(t, m)) continue;
+    if (transitions_[t].priority > best_priority) {
+      best_priority = transitions_[t].priority;
+      enabled.clear();
+    }
+    if (transitions_[t].priority == best_priority) enabled.push_back(t);
+  }
+  return enabled;
+}
+
+std::vector<TransitionId> SrnModel::enabled_timed(const Marking& m) const {
+  std::vector<TransitionId> enabled;
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    if (transitions_[t].kind != TransitionKind::kTimed) continue;
+    if (is_enabled(t, m)) enabled.push_back(t);
+  }
+  return enabled;
+}
+
+void SrnModel::check_place(PlaceId p) const {
+  if (p >= places_.size()) throw std::out_of_range("invalid place id");
+}
+
+void SrnModel::check_transition(TransitionId t) const {
+  if (t >= transitions_.size()) throw std::out_of_range("invalid transition id");
+}
+
+}  // namespace patchsec::petri

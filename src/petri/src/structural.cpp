@@ -1,0 +1,51 @@
+#include "patchsec/petri/structural.hpp"
+
+#include <numeric>
+
+namespace patchsec::petri {
+
+StructuralReport analyze_structure(const SrnModel& model, const ReachabilityOptions& options) {
+  const ReachabilityGraph graph = build_reachability_graph(model, options);
+
+  StructuralReport report;
+  report.place_bounds.assign(model.place_count(), 0);
+
+  std::vector<bool> fired(model.transition_count(), false);
+  bool first = true;
+  TokenCount reference_total = 0;
+  for (const Marking& m : graph.tangible_markings) {
+    TokenCount total = 0;
+    for (PlaceId p = 0; p < model.place_count(); ++p) {
+      report.place_bounds[p] = std::max(report.place_bounds[p], m[p]);
+      total += m[p];
+    }
+    report.max_total_tokens = std::max(report.max_total_tokens, total);
+    if (first) {
+      reference_total = total;
+      first = false;
+    } else if (total != reference_total) {
+      report.conservative = false;
+    }
+    // Record enabled transitions (timed in tangibles; immediates can only be
+    // enabled in vanishing markings, so probe them on successors of firings).
+    for (TransitionId t = 0; t < model.transition_count(); ++t) {
+      if (model.is_enabled(t, m)) fired[t] = true;
+    }
+    // Probe vanishing markings reachable by one timed firing for immediates.
+    for (TransitionId t : model.enabled_timed(m)) {
+      Marking succ = model.fire(t, m);
+      for (std::size_t depth = 0; depth < options.max_vanishing_depth; ++depth) {
+        const std::vector<TransitionId> immediates = model.enabled_immediates(succ);
+        if (immediates.empty()) break;
+        for (TransitionId imm : immediates) fired[imm] = true;
+        succ = model.fire(immediates.front(), succ);
+      }
+    }
+  }
+  for (TransitionId t = 0; t < model.transition_count(); ++t) {
+    if (!fired[t]) report.dead_transitions.push_back(t);
+  }
+  return report;
+}
+
+}  // namespace patchsec::petri

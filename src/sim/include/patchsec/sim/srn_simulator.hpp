@@ -1,0 +1,58 @@
+#pragma once
+// Discrete-event Monte-Carlo simulation of an SrnModel.  Used as an
+// independent oracle for the analytic (reachability + steady-state) pipeline:
+// the same net, executed by sampling exponential firings, must agree with the
+// solver within confidence bounds.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "patchsec/petri/srn_model.hpp"
+
+namespace patchsec::sim {
+
+struct SimulationOptions {
+  std::uint64_t seed = 42;
+  double warmup_hours = 2000.0;     ///< discarded transient prefix.
+  double batch_hours = 20000.0;     ///< length of one batch-means batch.
+  std::size_t batches = 16;         ///< number of batches (>= 2).
+};
+
+struct SimulationEstimate {
+  double mean = 0.0;
+  double half_width_95 = 0.0;  ///< 95% CI half width from batch means.
+  std::size_t batches = 0;
+  double total_time = 0.0;
+
+  [[nodiscard]] double lower() const noexcept { return mean - half_width_95; }
+  [[nodiscard]] double upper() const noexcept { return mean + half_width_95; }
+};
+
+/// Executes a net trajectory and estimates time-averaged rewards.
+class SrnSimulator {
+ public:
+  explicit SrnSimulator(const petri::SrnModel& model);
+
+  /// Batch-means estimate of the steady-state (time-averaged) reward.
+  [[nodiscard]] SimulationEstimate steady_state_reward(const petri::RewardFunction& reward,
+                                                       const SimulationOptions& options = {});
+
+  /// Fraction of time `predicate` holds (availability-style measure).
+  [[nodiscard]] SimulationEstimate steady_state_probability(
+      const std::function<bool(const petri::Marking&)>& predicate,
+      const SimulationOptions& options = {});
+
+  /// Transient estimate by independent replications: E[reward(marking at
+  /// time t)] starting from the initial marking.  The Monte-Carlo
+  /// counterpart of uniformization (ctmc::transient_reward); CI from the
+  /// replication sample.
+  [[nodiscard]] SimulationEstimate transient_reward(const petri::RewardFunction& reward,
+                                                    double t, std::size_t replications = 2000,
+                                                    std::uint64_t seed = 42);
+
+ private:
+  const petri::SrnModel& model_;
+};
+
+}  // namespace patchsec::sim

@@ -1,0 +1,162 @@
+#include "patchsec/sim/srn_simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace patchsec::sim {
+
+namespace {
+
+using petri::Marking;
+using petri::SrnModel;
+using petri::TransitionId;
+
+// Follow immediate transitions until a tangible marking is reached, sampling
+// among competing immediates by weight.
+Marking settle(const SrnModel& model, Marking m, std::mt19937_64& rng) {
+  for (std::size_t depth = 0; depth < 4096; ++depth) {
+    const std::vector<TransitionId> immediates = model.enabled_immediates(m);
+    if (immediates.empty()) return m;
+    double total = 0.0;
+    for (TransitionId t : immediates) total += model.weight(t);
+    std::uniform_real_distribution<double> u(0.0, total);
+    double pick = u(rng);
+    TransitionId chosen = immediates.back();
+    for (TransitionId t : immediates) {
+      pick -= model.weight(t);
+      if (pick <= 0.0) {
+        chosen = t;
+        break;
+      }
+    }
+    m = model.fire(chosen, m);
+  }
+  throw std::runtime_error("simulator: vanishing loop detected");
+}
+
+}  // namespace
+
+SrnSimulator::SrnSimulator(const petri::SrnModel& model) : model_(model) {}
+
+SimulationEstimate SrnSimulator::steady_state_reward(const petri::RewardFunction& reward,
+                                                     const SimulationOptions& options) {
+  if (!reward) throw std::invalid_argument("steady_state_reward: null reward");
+  if (options.batches < 2) throw std::invalid_argument("need at least 2 batches");
+  if (!(options.batch_hours > 0.0)) throw std::invalid_argument("batch_hours must be positive");
+
+  std::mt19937_64 rng(options.seed);
+  Marking m = settle(model_, model_.initial_marking(), rng);
+
+  const auto advance = [&](double horizon, bool accumulate, double& reward_time) -> void {
+    double t = 0.0;
+    while (t < horizon) {
+      const std::vector<TransitionId> enabled = model_.enabled_timed(m);
+      if (enabled.empty()) {
+        // Dead marking: the reward holds for the remainder of the horizon.
+        if (accumulate) reward_time += reward(m) * (horizon - t);
+        return;
+      }
+      double total_rate = 0.0;
+      for (TransitionId tr : enabled) total_rate += model_.rate(tr, m);
+      std::exponential_distribution<double> dwell_dist(total_rate);
+      double dwell = dwell_dist(rng);
+      if (t + dwell > horizon) dwell = horizon - t;
+      if (accumulate) reward_time += reward(m) * dwell;
+      t += dwell;
+      if (t >= horizon) return;
+
+      std::uniform_real_distribution<double> u(0.0, total_rate);
+      double pick = u(rng);
+      TransitionId chosen = enabled.back();
+      for (TransitionId tr : enabled) {
+        pick -= model_.rate(tr, m);
+        if (pick <= 0.0) {
+          chosen = tr;
+          break;
+        }
+      }
+      m = settle(model_, model_.fire(chosen, m), rng);
+    }
+  };
+
+  double unused = 0.0;
+  advance(options.warmup_hours, false, unused);
+
+  std::vector<double> batch_means;
+  batch_means.reserve(options.batches);
+  for (std::size_t b = 0; b < options.batches; ++b) {
+    double reward_time = 0.0;
+    advance(options.batch_hours, true, reward_time);
+    batch_means.push_back(reward_time / options.batch_hours);
+  }
+
+  double mean = 0.0;
+  for (double v : batch_means) mean += v;
+  mean /= static_cast<double>(batch_means.size());
+  double var = 0.0;
+  for (double v : batch_means) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(batch_means.size() - 1);
+
+  SimulationEstimate est;
+  est.mean = mean;
+  est.half_width_95 = 1.96 * std::sqrt(var / static_cast<double>(batch_means.size()));
+  est.batches = batch_means.size();
+  est.total_time = options.warmup_hours +
+                   options.batch_hours * static_cast<double>(options.batches);
+  return est;
+}
+
+SimulationEstimate SrnSimulator::transient_reward(const petri::RewardFunction& reward, double t,
+                                                  std::size_t replications, std::uint64_t seed) {
+  if (!reward) throw std::invalid_argument("transient_reward: null reward");
+  if (t < 0.0) throw std::invalid_argument("transient_reward: negative time");
+  if (replications < 2) throw std::invalid_argument("transient_reward: need >= 2 replications");
+
+  std::mt19937_64 rng(seed);
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    Marking m = settle(model_, model_.initial_marking(), rng);
+    double now = 0.0;
+    while (now < t) {
+      const std::vector<TransitionId> enabled = model_.enabled_timed(m);
+      if (enabled.empty()) break;  // dead marking holds until t
+      double total_rate = 0.0;
+      for (TransitionId tr : enabled) total_rate += model_.rate(tr, m);
+      std::exponential_distribution<double> dwell(total_rate);
+      now += dwell(rng);
+      if (now >= t) break;
+      std::uniform_real_distribution<double> u(0.0, total_rate);
+      double pick = u(rng);
+      TransitionId chosen = enabled.back();
+      for (TransitionId tr : enabled) {
+        pick -= model_.rate(tr, m);
+        if (pick <= 0.0) {
+          chosen = tr;
+          break;
+        }
+      }
+      m = settle(model_, model_.fire(chosen, m), rng);
+    }
+    const double value = reward(m);
+    sum += value;
+    sum_sq += value * value;
+  }
+  const double n = static_cast<double>(replications);
+  SimulationEstimate est;
+  est.mean = sum / n;
+  const double var = std::max(0.0, (sum_sq - n * est.mean * est.mean) / (n - 1.0));
+  est.half_width_95 = 1.96 * std::sqrt(var / n);
+  est.batches = replications;
+  est.total_time = t * n;
+  return est;
+}
+
+SimulationEstimate SrnSimulator::steady_state_probability(
+    const std::function<bool(const petri::Marking&)>& predicate,
+    const SimulationOptions& options) {
+  if (!predicate) throw std::invalid_argument("steady_state_probability: null predicate");
+  return steady_state_reward(
+      [&predicate](const Marking& m) { return predicate(m) ? 1.0 : 0.0; }, options);
+}
+
+}  // namespace patchsec::sim

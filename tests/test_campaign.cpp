@@ -1,0 +1,113 @@
+// Tests for multi-stage patch campaigns (paper Sec. V future work: "monthly
+// patch of 3 months"), including the severity-banded default.
+
+#include <gtest/gtest.h>
+
+#include "patchsec/core/campaign.hpp"
+#include "patchsec/nvd/database.hpp"
+
+namespace core = patchsec::core;
+namespace ent = patchsec::enterprise;
+
+namespace {
+
+std::vector<core::CampaignStageResult> run_example_campaign() {
+  return core::evaluate_campaign(ent::example_network_design(), ent::paper_server_specs(),
+                                 ent::ReachabilityPolicy::three_tier(),
+                                 core::severity_banded_campaign());
+}
+
+}  // namespace
+
+TEST(Campaign, SeverityBandsPartitionTheDatabase) {
+  const auto stages = core::severity_banded_campaign();
+  ASSERT_EQ(stages.size(), 3u);
+  // Every vulnerability in the paper database lands in exactly one band.
+  for (const auto& v : patchsec::nvd::make_paper_database().all()) {
+    int hits = 0;
+    for (const auto& s : stages) {
+      if (s.patched(v)) ++hits;
+    }
+    EXPECT_EQ(hits, 1) << v.cve_id;
+  }
+}
+
+TEST(Campaign, StageOneReproducesThePaperPatch) {
+  const auto results = run_example_campaign();
+  ASSERT_EQ(results.size(), 3u);
+  // Month 1 = the paper's critical patch: Table II after-patch metrics and
+  // the Table VI COA.
+  EXPECT_DOUBLE_EQ(results[0].security.attack_impact, 42.2);
+  EXPECT_EQ(results[0].security.exploitable_vulnerabilities, 11u);
+  EXPECT_EQ(results[0].security.attack_paths, 4u);
+  EXPECT_NEAR(results[0].coa, 0.99707, 5e-6);
+}
+
+TEST(Campaign, SecurityImprovesMonotonically) {
+  const auto results = run_example_campaign();
+  for (std::size_t k = 1; k < results.size(); ++k) {
+    EXPECT_LE(results[k].security.attack_success_probability,
+              results[k - 1].security.attack_success_probability);
+    EXPECT_LE(results[k].security.exploitable_vulnerabilities,
+              results[k - 1].security.exploitable_vulnerabilities);
+    EXPECT_LE(results[k].security.attack_paths, results[k - 1].security.attack_paths);
+  }
+}
+
+TEST(Campaign, FullCampaignEliminatesTheAttackSurface) {
+  const auto results = run_example_campaign();
+  const auto& final = results.back().security;
+  EXPECT_EQ(final.exploitable_vulnerabilities, 0u);
+  EXPECT_EQ(final.attack_paths, 0u);
+  EXPECT_DOUBLE_EQ(final.attack_success_probability, 0.0);
+  EXPECT_DOUBLE_EQ(final.attack_impact, 0.0);
+}
+
+TEST(Campaign, WorkAccountingAddsUp) {
+  const auto results = run_example_campaign();
+  std::size_t total = 0;
+  for (const auto& r : results) total += r.vulnerabilities_patched;
+  // 26 exploitable + 8 non-exploitable OS criticals over the 6 instances:
+  // dns 3 vulns, web 5 x2, app 8 x2, db 8 -> 3 + 10 + 16 + 8 = 37.
+  EXPECT_EQ(total, 37u);
+  // Month 1 (critical) carries most of the work.
+  EXPECT_GT(results[0].vulnerabilities_patched, results[1].vulnerabilities_patched);
+}
+
+TEST(Campaign, LighterMonthsHaveHigherCoa) {
+  const auto results = run_example_campaign();
+  // Month 2 patches only the high band (the local kernel vulns etc.):
+  // less work than month 1 -> higher COA.
+  EXPECT_GT(results[1].coa, results[0].coa);
+  for (const auto& r : results) {
+    EXPECT_GT(r.coa, 0.99);
+    EXPECT_LT(r.coa, 1.0);
+  }
+}
+
+TEST(Campaign, Validation) {
+  EXPECT_THROW((void)core::evaluate_campaign(ent::example_network_design(),
+                                             ent::paper_server_specs(),
+                                             ent::ReachabilityPolicy::three_tier(), {}),
+               std::invalid_argument);
+  std::vector<core::CampaignStage> bad{{"null", nullptr}};
+  EXPECT_THROW((void)core::evaluate_campaign(ent::example_network_design(),
+                                             ent::paper_server_specs(),
+                                             ent::ReachabilityPolicy::three_tier(), bad),
+               std::invalid_argument);
+}
+
+TEST(Campaign, SingleStageEqualsEverythingAtOnce) {
+  std::vector<core::CampaignStage> all_at_once{
+      {"everything", [](const patchsec::nvd::Vulnerability&) { return true; }}};
+  const auto results = core::evaluate_campaign(ent::example_network_design(),
+                                               ent::paper_server_specs(),
+                                               ent::ReachabilityPolicy::three_tier(),
+                                               all_at_once);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].security.exploitable_vulnerabilities, 0u);
+  EXPECT_EQ(results[0].vulnerabilities_patched, 37u);
+  // One mega-patch month: the heaviest possible patch load, lowest COA.
+  const auto banded = run_example_campaign();
+  EXPECT_LT(results[0].coa, banded[0].coa);
+}

@@ -1,0 +1,229 @@
+// Tests for the CTMC layer: model construction, steady state, rewards,
+// transient uniformization and absorbing analysis against closed forms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "patchsec/ctmc/absorbing.hpp"
+#include "patchsec/ctmc/ctmc.hpp"
+#include "patchsec/ctmc/transient.hpp"
+
+namespace ct = patchsec::ctmc;
+
+namespace {
+
+/// Up/down chain: 0=up fails at rate a, 1=down repairs at rate b.
+ct::Ctmc up_down(double a, double b) {
+  ct::Ctmc c;
+  c.add_state("up");
+  c.add_state("down");
+  c.add_transition(0, 1, a);
+  c.add_transition(1, 0, b);
+  return c;
+}
+
+}  // namespace
+
+TEST(Ctmc, ConstructionAndLabels) {
+  ct::Ctmc c;
+  const auto s0 = c.add_state("alpha");
+  const auto s1 = c.add_state("beta");
+  EXPECT_EQ(c.state_count(), 2u);
+  EXPECT_EQ(c.label(s0), "alpha");
+  EXPECT_EQ(c.label(s1), "beta");
+}
+
+TEST(Ctmc, RejectsBadTransitions) {
+  ct::Ctmc c;
+  c.add_states(2);
+  EXPECT_THROW(c.add_transition(0, 0, 1.0), std::invalid_argument);  // self loop
+  EXPECT_THROW(c.add_transition(0, 1, 0.0), std::invalid_argument);  // zero rate
+  EXPECT_THROW(c.add_transition(0, 1, -2.0), std::invalid_argument);
+  EXPECT_THROW(c.add_transition(0, 5, 1.0), std::out_of_range);
+}
+
+TEST(Ctmc, GeneratorRowsSumToZero) {
+  const ct::Ctmc c = up_down(0.25, 4.0);
+  const auto q = c.generator();
+  EXPECT_NEAR(q.row_sum(0), 0.0, 1e-15);
+  EXPECT_NEAR(q.row_sum(1), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(q.at(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(q.at(1, 0), 4.0);
+}
+
+TEST(Ctmc, SteadyStateAvailability) {
+  const double lambda = 1.0 / 336.0, mu = 2.0;
+  const ct::Ctmc c = up_down(lambda, mu);
+  const auto ss = c.steady_state();
+  EXPECT_NEAR(ss.distribution[0], mu / (mu + lambda), 1e-10);
+}
+
+TEST(Ctmc, ExpectedRewardIsAvailability) {
+  const ct::Ctmc c = up_down(0.1, 0.9);
+  const double availability = c.expected_steady_state_reward({1.0, 0.0});
+  EXPECT_NEAR(availability, 0.9, 1e-10);
+}
+
+TEST(Ctmc, RewardSizeMismatchThrows) {
+  const ct::Ctmc c = up_down(1.0, 1.0);
+  EXPECT_THROW(c.expected_steady_state_reward({1.0}), std::invalid_argument);
+}
+
+TEST(Ctmc, ExitRate) {
+  ct::Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 2.0);
+  c.add_transition(0, 2, 3.0);
+  EXPECT_DOUBLE_EQ(c.exit_rate(0), 5.0);
+  EXPECT_DOUBLE_EQ(c.exit_rate(1), 0.0);
+}
+
+TEST(Ctmc, ReachabilityAndIrreducibility) {
+  ct::Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(1, 0, 1.0);
+  const auto reach = c.reachable_from(0);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_FALSE(reach[2]);
+  EXPECT_FALSE(c.is_irreducible());
+
+  c.add_transition(1, 2, 1.0);
+  c.add_transition(2, 0, 1.0);
+  EXPECT_TRUE(c.is_irreducible());
+}
+
+// ---------- transient --------------------------------------------------------
+
+TEST(Transient, TwoStateClosedForm) {
+  // pi_up(t) = mu/(l+mu) + l/(l+mu) e^{-(l+mu)t} starting from up.
+  const double l = 0.7, mu = 1.3;
+  const ct::Ctmc c = up_down(l, mu);
+  for (double t : {0.0, 0.1, 0.5, 1.0, 3.0, 10.0}) {
+    const auto pi = ct::transient_distribution(c, {1.0, 0.0}, t);
+    const double expected = mu / (l + mu) + l / (l + mu) * std::exp(-(l + mu) * t);
+    EXPECT_NEAR(pi[0], expected, 1e-9) << "t=" << t;
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+  }
+}
+
+TEST(Transient, ConvergesToSteadyState) {
+  const ct::Ctmc c = up_down(0.4, 0.6);
+  const auto pi = ct::transient_distribution(c, {0.0, 1.0}, 200.0);
+  EXPECT_NEAR(pi[0], 0.6, 1e-8);
+  EXPECT_NEAR(pi[1], 0.4, 1e-8);
+}
+
+TEST(Transient, ZeroTimeReturnsInitial) {
+  const ct::Ctmc c = up_down(1.0, 1.0);
+  const auto pi = ct::transient_distribution(c, {0.25, 0.75}, 0.0);
+  EXPECT_DOUBLE_EQ(pi[0], 0.25);
+}
+
+TEST(Transient, NegativeTimeThrows) {
+  const ct::Ctmc c = up_down(1.0, 1.0);
+  EXPECT_THROW(ct::transient_distribution(c, {1.0, 0.0}, -1.0), std::invalid_argument);
+}
+
+TEST(Transient, InitialSizeMismatchThrows) {
+  const ct::Ctmc c = up_down(1.0, 1.0);
+  EXPECT_THROW(ct::transient_distribution(c, {1.0}, 1.0), std::invalid_argument);
+}
+
+TEST(Transient, StiffChainStaysStochastic) {
+  const ct::Ctmc c = up_down(1e-4, 1e3);
+  const auto pi = ct::transient_distribution(c, {0.0, 1.0}, 0.01);
+  EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-12);
+  EXPECT_GT(pi[0], 0.99);  // repair rate 1e3: nearly surely up after 0.01
+}
+
+TEST(Transient, InstantaneousRewardMatchesDistribution) {
+  const ct::Ctmc c = up_down(0.5, 1.5);
+  const double r = ct::transient_reward(c, {1.0, 0.0}, {1.0, 0.0}, 0.8);
+  const auto pi = ct::transient_distribution(c, {1.0, 0.0}, 0.8);
+  EXPECT_NEAR(r, pi[0], 1e-12);
+}
+
+TEST(Transient, AccumulatedRewardIntervalAvailability) {
+  // With no repair (mu -> 0 unreachable here, use tiny), expected uptime over
+  // [0,t] of a failing component ~ (1 - e^{-lt})/l.
+  const double l = 0.3;
+  ct::Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, l);
+  const double t = 2.0;
+  const double up_time = ct::accumulated_reward(c, {1.0, 0.0}, {1.0, 0.0}, t, 512);
+  const double expected = (1.0 - std::exp(-l * t)) / l;
+  EXPECT_NEAR(up_time, expected, 1e-4);
+}
+
+TEST(Transient, AccumulatedRewardZeroSteps) {
+  const ct::Ctmc c = up_down(1.0, 1.0);
+  EXPECT_THROW(ct::accumulated_reward(c, {1.0, 0.0}, {1.0, 0.0}, 1.0, 0), std::invalid_argument);
+}
+
+// ---------- absorbing --------------------------------------------------------
+
+TEST(Absorbing, SingleTransitionMtta) {
+  ct::Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, 0.25);  // mean 4
+  const auto a = ct::analyze_absorbing(c);
+  ASSERT_EQ(a.absorbing_states.size(), 1u);
+  EXPECT_EQ(a.absorbing_states[0], 1u);
+  EXPECT_NEAR(a.mean_time_to_absorption[0], 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.mean_time_to_absorption[1], 0.0);
+}
+
+TEST(Absorbing, SequentialPhasesSumMeans) {
+  // 0 ->(a) 1 ->(b) 2 ->(c) 3; MTTA(0) = 1/a + 1/b + 1/c.  This mirrors the
+  // patch pipeline: app patch, OS patch, reboots in sequence.
+  ct::Ctmc c;
+  c.add_states(4);
+  c.add_transition(0, 1, 12.0);
+  c.add_transition(1, 2, 3.0);
+  c.add_transition(2, 3, 6.0);
+  const auto a = ct::analyze_absorbing(c);
+  EXPECT_NEAR(a.mean_time_to_absorption[0], 1.0 / 12 + 1.0 / 3 + 1.0 / 6, 1e-12);
+}
+
+TEST(Absorbing, NoAbsorbingStateThrows) {
+  ct::Ctmc c = ct::Ctmc();
+  c.add_states(2);
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(1, 0, 1.0);
+  EXPECT_THROW(ct::analyze_absorbing(c), std::domain_error);
+}
+
+TEST(Absorbing, UnreachableAbsorptionThrows) {
+  ct::Ctmc c;
+  c.add_states(4);
+  // 0 <-> 1 closed loop; 2 -> 3 absorbing elsewhere.
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(1, 0, 1.0);
+  c.add_transition(2, 3, 1.0);
+  EXPECT_THROW(ct::analyze_absorbing(c), std::domain_error);
+}
+
+TEST(Absorbing, MeanFirstPassageUpDown) {
+  // First passage up -> down is 1/lambda.
+  const ct::Ctmc c = up_down(0.2, 5.0);
+  EXPECT_NEAR(ct::mean_first_passage_time(c, 0, {1}), 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ct::mean_first_passage_time(c, 1, {1}), 0.0);
+}
+
+TEST(Absorbing, MeanFirstPassageBranching) {
+  // 0 -> 1 (rate 1), 0 -> 2 (rate 1); target {1,2}: MTTA = 1/2.
+  ct::Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(0, 2, 1.0);
+  EXPECT_NEAR(ct::mean_first_passage_time(c, 0, {1, 2}), 0.5, 1e-12);
+}
+
+TEST(Absorbing, EmptyTargetsThrow) {
+  const ct::Ctmc c = up_down(1.0, 1.0);
+  EXPECT_THROW(ct::mean_first_passage_time(c, 0, {}), std::invalid_argument);
+}

@@ -1,0 +1,160 @@
+// Tests for the CVSS v2 scoring engine: vector parsing, the official scoring
+// equations against known values, and exhaustive enumeration properties.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "patchsec/cvss/cvss_v2.hpp"
+
+namespace cv = patchsec::cvss;
+
+TEST(CvssParse, CanonicalVectorRoundTrips) {
+  const std::string text = "AV:N/AC:L/Au:N/C:C/I:C/A:C";
+  const cv::CvssV2Vector v = cv::CvssV2Vector::parse(text);
+  EXPECT_EQ(v.to_string(), text);
+}
+
+TEST(CvssParse, AllComponentValues) {
+  const cv::CvssV2Vector v = cv::CvssV2Vector::parse("AV:A/AC:M/Au:S/C:P/I:N/A:C");
+  EXPECT_EQ(v.access_vector, cv::AccessVector::kAdjacentNetwork);
+  EXPECT_EQ(v.access_complexity, cv::AccessComplexity::kMedium);
+  EXPECT_EQ(v.authentication, cv::Authentication::kSingle);
+  EXPECT_EQ(v.confidentiality, cv::ImpactLevel::kPartial);
+  EXPECT_EQ(v.integrity, cv::ImpactLevel::kNone);
+  EXPECT_EQ(v.availability, cv::ImpactLevel::kComplete);
+}
+
+TEST(CvssParse, MalformedInputsThrow) {
+  EXPECT_THROW(cv::CvssV2Vector::parse(""), std::invalid_argument);
+  EXPECT_THROW(cv::CvssV2Vector::parse("AV:N"), std::invalid_argument);
+  EXPECT_THROW(cv::CvssV2Vector::parse("AV:N/AC:L/Au:N/C:C/I:C"), std::invalid_argument);
+  EXPECT_THROW(cv::CvssV2Vector::parse("AV:X/AC:L/Au:N/C:C/I:C/A:C"), std::invalid_argument);
+  EXPECT_THROW(cv::CvssV2Vector::parse("AV:N/AC:L/Au:N/C:C/I:C/Q:C"), std::invalid_argument);
+  EXPECT_THROW(cv::CvssV2Vector::parse("AVN/AC:L/Au:N/C:C/I:C/A:C"), std::invalid_argument);
+}
+
+// Known-score cases: (vector, impact, exploitability, base).  These include
+// the five archetypes used in the paper database and classic NVD examples.
+struct ScoreCase {
+  const char* vector;
+  double impact;
+  double exploitability;
+  double base;
+};
+
+class CvssScores : public ::testing::TestWithParam<ScoreCase> {};
+
+TEST_P(CvssScores, MatchesOfficialEquations) {
+  const ScoreCase& c = GetParam();
+  const cv::CvssV2Vector v = cv::CvssV2Vector::parse(c.vector);
+  EXPECT_DOUBLE_EQ(v.impact_subscore(), c.impact) << c.vector;
+  EXPECT_DOUBLE_EQ(v.exploitability_subscore(), c.exploitability) << c.vector;
+  EXPECT_DOUBLE_EQ(v.base_score(), c.base) << c.vector;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperArchetypes, CvssScores,
+    ::testing::Values(ScoreCase{"AV:N/AC:L/Au:N/C:C/I:C/A:C", 10.0, 10.0, 10.0},
+                      ScoreCase{"AV:N/AC:L/Au:N/C:P/I:N/A:N", 2.9, 10.0, 5.0},
+                      ScoreCase{"AV:L/AC:L/Au:N/C:C/I:C/A:C", 10.0, 3.9, 7.1},
+                      ScoreCase{"AV:N/AC:L/Au:N/C:P/I:P/A:P", 6.4, 10.0, 7.5},
+                      ScoreCase{"AV:N/AC:M/Au:N/C:P/I:N/A:N", 2.9, 8.6, 4.3}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ClassicVectors, CvssScores,
+    ::testing::Values(
+        // No impact at all: base collapses to 0 via f(impact)=0.
+        ScoreCase{"AV:N/AC:L/Au:N/C:N/I:N/A:N", 0.0, 10.0, 0.0},
+        // Local, high complexity, multiple auth: hardest exploitability.
+        ScoreCase{"AV:L/AC:H/Au:M/C:C/I:C/A:C", 10.0, 1.2, 5.9},
+        // Partial availability only.
+        ScoreCase{"AV:N/AC:L/Au:N/C:N/I:N/A:P", 2.9, 10.0, 5.0},
+        // Adjacent network, single auth.
+        ScoreCase{"AV:A/AC:L/Au:S/C:P/I:P/A:P", 6.4, 5.1, 5.2}));
+
+TEST(CvssScores, WeightsMatchStandard) {
+  EXPECT_DOUBLE_EQ(cv::weight(cv::AccessVector::kLocal), 0.395);
+  EXPECT_DOUBLE_EQ(cv::weight(cv::AccessVector::kAdjacentNetwork), 0.646);
+  EXPECT_DOUBLE_EQ(cv::weight(cv::AccessVector::kNetwork), 1.0);
+  EXPECT_DOUBLE_EQ(cv::weight(cv::AccessComplexity::kHigh), 0.35);
+  EXPECT_DOUBLE_EQ(cv::weight(cv::AccessComplexity::kMedium), 0.61);
+  EXPECT_DOUBLE_EQ(cv::weight(cv::AccessComplexity::kLow), 0.71);
+  EXPECT_DOUBLE_EQ(cv::weight(cv::Authentication::kMultiple), 0.45);
+  EXPECT_DOUBLE_EQ(cv::weight(cv::Authentication::kSingle), 0.56);
+  EXPECT_DOUBLE_EQ(cv::weight(cv::Authentication::kNone), 0.704);
+  EXPECT_DOUBLE_EQ(cv::weight(cv::ImpactLevel::kNone), 0.0);
+  EXPECT_DOUBLE_EQ(cv::weight(cv::ImpactLevel::kPartial), 0.275);
+  EXPECT_DOUBLE_EQ(cv::weight(cv::ImpactLevel::kComplete), 0.660);
+}
+
+TEST(CvssScores, ExhaustiveEnumerationInvariants) {
+  // All 3^6 = 729 vectors: scores stay within [0,10], round to one decimal,
+  // impact 0 forces base 0, and every subscore is monotone in its inputs.
+  const cv::AccessVector avs[] = {cv::AccessVector::kLocal, cv::AccessVector::kAdjacentNetwork,
+                                  cv::AccessVector::kNetwork};
+  const cv::AccessComplexity acs[] = {cv::AccessComplexity::kHigh, cv::AccessComplexity::kMedium,
+                                      cv::AccessComplexity::kLow};
+  const cv::Authentication aus[] = {cv::Authentication::kMultiple, cv::Authentication::kSingle,
+                                    cv::Authentication::kNone};
+  const cv::ImpactLevel ils[] = {cv::ImpactLevel::kNone, cv::ImpactLevel::kPartial,
+                                 cv::ImpactLevel::kComplete};
+  int checked = 0;
+  for (auto av : avs)
+    for (auto ac : acs)
+      for (auto au : aus)
+        for (auto c : ils)
+          for (auto i : ils)
+            for (auto a : ils) {
+              cv::CvssV2Vector v;
+              v.access_vector = av;
+              v.access_complexity = ac;
+              v.authentication = au;
+              v.confidentiality = c;
+              v.integrity = i;
+              v.availability = a;
+              const double impact_s = v.impact_subscore();
+              const double exploit_s = v.exploitability_subscore();
+              const double base_s = v.base_score();
+              EXPECT_GE(impact_s, 0.0);
+              EXPECT_LE(impact_s, 10.0);
+              EXPECT_GT(exploit_s, 0.0);
+              EXPECT_LE(exploit_s, 10.0);
+              EXPECT_GE(base_s, 0.0);
+              EXPECT_LE(base_s, 10.0);
+              // Rounded to a tenth.
+              EXPECT_NEAR(impact_s * 10.0, std::round(impact_s * 10.0), 1e-9);
+              EXPECT_NEAR(exploit_s * 10.0, std::round(exploit_s * 10.0), 1e-9);
+              EXPECT_NEAR(base_s * 10.0, std::round(base_s * 10.0), 1e-9);
+              if (impact_s == 0.0) EXPECT_DOUBLE_EQ(base_s, 0.0);
+              // Round trip through text.
+              EXPECT_EQ(cv::CvssV2Vector::parse(v.to_string()), v);
+              ++checked;
+            }
+  EXPECT_EQ(checked, 729);
+}
+
+TEST(CvssSeverity, BandsAndCriticality) {
+  EXPECT_EQ(cv::severity_band(0.0), cv::Severity::kLow);
+  EXPECT_EQ(cv::severity_band(3.9), cv::Severity::kLow);
+  EXPECT_EQ(cv::severity_band(4.0), cv::Severity::kMedium);
+  EXPECT_EQ(cv::severity_band(6.9), cv::Severity::kMedium);
+  EXPECT_EQ(cv::severity_band(7.0), cv::Severity::kHigh);
+  EXPECT_EQ(cv::severity_band(10.0), cv::Severity::kHigh);
+  EXPECT_THROW(cv::severity_band(-0.1), std::invalid_argument);
+  EXPECT_THROW(cv::severity_band(10.1), std::invalid_argument);
+
+  // The paper's rule is strict: critical means base > 8.0.
+  EXPECT_FALSE(cv::is_critical(8.0));
+  EXPECT_TRUE(cv::is_critical(8.1));
+  EXPECT_TRUE(cv::is_critical(10.0));
+  EXPECT_FALSE(cv::is_critical(7.5));
+}
+
+TEST(CvssRounding, RoundToTenth) {
+  EXPECT_DOUBLE_EQ(cv::round_to_tenth(1.24), 1.2);
+  EXPECT_DOUBLE_EQ(cv::round_to_tenth(1.25), 1.3);
+  EXPECT_DOUBLE_EQ(cv::round_to_tenth(9.96), 10.0);
+  EXPECT_DOUBLE_EQ(cv::round_to_tenth(0.0), 0.0);
+}

@@ -1,0 +1,128 @@
+// Tests for the CVSS v3.1 scoring engine against officially published scores
+// and the exhaustive enumeration invariants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "patchsec/cvss/cvss_v3.hpp"
+
+namespace cv = patchsec::cvss;
+
+TEST(CvssV3Parse, RoundTripsWithPrefix) {
+  const std::string text = "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H";
+  const cv::CvssV3Vector v = cv::CvssV3Vector::parse(text);
+  EXPECT_EQ(v.to_string(), text);
+}
+
+TEST(CvssV3Parse, AcceptsBareAnd30Prefix) {
+  const auto bare = cv::CvssV3Vector::parse("AV:L/AC:H/PR:L/UI:R/S:C/C:L/I:L/A:N");
+  const auto v30 = cv::CvssV3Vector::parse("CVSS:3.0/AV:L/AC:H/PR:L/UI:R/S:C/C:L/I:L/A:N");
+  EXPECT_EQ(bare, v30);
+  EXPECT_EQ(bare.scope, cv::ScopeV3::kChanged);
+  EXPECT_EQ(bare.privileges_required, cv::PrivilegesRequiredV3::kLow);
+}
+
+TEST(CvssV3Parse, MalformedInputsThrow) {
+  EXPECT_THROW(cv::CvssV3Vector::parse(""), std::invalid_argument);
+  EXPECT_THROW(cv::CvssV3Vector::parse("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H"), std::invalid_argument);
+  EXPECT_THROW(cv::CvssV3Vector::parse("AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"),
+               std::invalid_argument);
+  EXPECT_THROW(cv::CvssV3Vector::parse("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/Q:H"),
+               std::invalid_argument);
+}
+
+// Officially published example scores (NVD / first.org calculator).
+struct V3Case {
+  const char* vector;
+  double base;
+};
+
+class CvssV3Scores : public ::testing::TestWithParam<V3Case> {};
+
+TEST_P(CvssV3Scores, MatchesPublishedBaseScore) {
+  const V3Case& c = GetParam();
+  EXPECT_DOUBLE_EQ(cv::CvssV3Vector::parse(c.vector).base_score(), c.base) << c.vector;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PublishedExamples, CvssV3Scores,
+    ::testing::Values(
+        // Full remote compromise (e.g. CVE-2017-0144 class): 9.8 Critical.
+        V3Case{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", 9.8},
+        // Scope-changed full compromise: 10.0.
+        V3Case{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", 10.0},
+        // Local privilege escalation archetype: 7.8.
+        V3Case{"CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", 7.8},
+        // Reflected-XSS archetype: 6.1.
+        V3Case{"CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", 6.1},
+        // Information disclosure, network, no privileges: 7.5.
+        V3Case{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", 7.5},
+        // No impact at all: 0.0.
+        V3Case{"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", 0.0},
+        // Physical, high complexity, high privileges: low end.
+        V3Case{"CVSS:3.1/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", 1.6},
+        // Adjacent network DoS archetype: 6.5.
+        V3Case{"CVSS:3.1/AV:A/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:H", 6.5}));
+
+TEST(CvssV3Roundup, SpecBehaviour) {
+  EXPECT_DOUBLE_EQ(cv::roundup_v31(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(cv::roundup_v31(4.02), 4.1);
+  EXPECT_DOUBLE_EQ(cv::roundup_v31(4.00002), 4.1);
+  // The 3.1 spec's own example: 8.6 * 0.915 -> 7.87 -> roundup 7.9 without
+  // the floating-point artifact that 3.0 produced.
+  EXPECT_DOUBLE_EQ(cv::roundup_v31(8.6 * 0.915), 7.9);
+}
+
+TEST(CvssV3Severity, Bands) {
+  EXPECT_EQ(cv::severity_band_v3(0.0), cv::SeverityV3::kNone);
+  EXPECT_EQ(cv::severity_band_v3(0.1), cv::SeverityV3::kLow);
+  EXPECT_EQ(cv::severity_band_v3(3.9), cv::SeverityV3::kLow);
+  EXPECT_EQ(cv::severity_band_v3(4.0), cv::SeverityV3::kMedium);
+  EXPECT_EQ(cv::severity_band_v3(6.9), cv::SeverityV3::kMedium);
+  EXPECT_EQ(cv::severity_band_v3(7.0), cv::SeverityV3::kHigh);
+  EXPECT_EQ(cv::severity_band_v3(8.9), cv::SeverityV3::kHigh);
+  EXPECT_EQ(cv::severity_band_v3(9.0), cv::SeverityV3::kCritical);
+  EXPECT_EQ(cv::severity_band_v3(10.0), cv::SeverityV3::kCritical);
+  EXPECT_THROW(cv::severity_band_v3(-0.1), std::invalid_argument);
+  EXPECT_THROW(cv::severity_band_v3(10.1), std::invalid_argument);
+}
+
+TEST(CvssV3Scores, ExhaustiveEnumerationInvariants) {
+  // 4*2*3*2*2*3*3*3 = 2592 vectors: base in [0,10], rounded up to a tenth,
+  // zero impact forces zero base, round trip through text.
+  int checked = 0;
+  for (auto av : {cv::AttackVectorV3::kNetwork, cv::AttackVectorV3::kAdjacent,
+                  cv::AttackVectorV3::kLocal, cv::AttackVectorV3::kPhysical})
+    for (auto ac : {cv::AttackComplexityV3::kLow, cv::AttackComplexityV3::kHigh})
+      for (auto pr : {cv::PrivilegesRequiredV3::kNone, cv::PrivilegesRequiredV3::kLow,
+                      cv::PrivilegesRequiredV3::kHigh})
+        for (auto ui : {cv::UserInteractionV3::kNone, cv::UserInteractionV3::kRequired})
+          for (auto sc : {cv::ScopeV3::kUnchanged, cv::ScopeV3::kChanged})
+            for (auto c : {cv::ImpactV3::kNone, cv::ImpactV3::kLow, cv::ImpactV3::kHigh})
+              for (auto i : {cv::ImpactV3::kNone, cv::ImpactV3::kLow, cv::ImpactV3::kHigh})
+                for (auto a : {cv::ImpactV3::kNone, cv::ImpactV3::kLow, cv::ImpactV3::kHigh}) {
+                  cv::CvssV3Vector v;
+                  v.attack_vector = av;
+                  v.attack_complexity = ac;
+                  v.privileges_required = pr;
+                  v.user_interaction = ui;
+                  v.scope = sc;
+                  v.confidentiality = c;
+                  v.integrity = i;
+                  v.availability = a;
+                  const double base = v.base_score();
+                  EXPECT_GE(base, 0.0) << v.to_string();
+                  EXPECT_LE(base, 10.0) << v.to_string();
+                  EXPECT_NEAR(base * 10.0, std::round(base * 10.0), 1e-9) << v.to_string();
+                  if (c == cv::ImpactV3::kNone && i == cv::ImpactV3::kNone &&
+                      a == cv::ImpactV3::kNone) {
+                    EXPECT_DOUBLE_EQ(base, 0.0);
+                  } else {
+                    EXPECT_GT(base, 0.0) << v.to_string();
+                  }
+                  EXPECT_EQ(cv::CvssV3Vector::parse(v.to_string()), v);
+                  ++checked;
+                }
+  EXPECT_EQ(checked, 2592);
+}

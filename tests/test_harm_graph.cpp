@@ -1,0 +1,166 @@
+// Attack-graph tests: construction, validation, and simple-path enumeration
+// with attackability masks.
+
+#include <gtest/gtest.h>
+
+#include "patchsec/harm/attack_graph.hpp"
+
+namespace hm = patchsec::harm;
+
+namespace {
+
+/// attacker -> {a, b} -> target (diamond).
+struct Diamond {
+  hm::AttackGraph g;
+  hm::GraphNodeId attacker, a, b, target;
+  Diamond() {
+    attacker = g.add_node("attacker");
+    a = g.add_node("a");
+    b = g.add_node("b");
+    target = g.add_node("target");
+    g.set_attacker(attacker);
+    g.add_target(target);
+    g.add_edge(attacker, a);
+    g.add_edge(attacker, b);
+    g.add_edge(a, target);
+    g.add_edge(b, target);
+  }
+  [[nodiscard]] std::vector<bool> all_attackable() const {
+    return std::vector<bool>(g.node_count(), true);
+  }
+};
+
+}  // namespace
+
+TEST(AttackGraph, ConstructionAndLookup) {
+  hm::AttackGraph g;
+  const auto n = g.add_node("dns1");
+  EXPECT_EQ(g.name(n), "dns1");
+  EXPECT_EQ(g.node("dns1"), n);
+  EXPECT_THROW(g.node("nope"), std::out_of_range);
+  EXPECT_THROW(g.add_node("dns1"), std::invalid_argument);
+  EXPECT_THROW(g.add_node(""), std::invalid_argument);
+}
+
+TEST(AttackGraph, EdgeValidation) {
+  hm::AttackGraph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, 99), std::out_of_range);
+  g.add_edge(a, b);
+  g.add_edge(a, b);  // duplicate edges collapse
+  EXPECT_EQ(g.successors(a).size(), 1u);
+}
+
+TEST(AttackGraph, AttackerAndTargetRequired) {
+  hm::AttackGraph g;
+  const auto a = g.add_node("a");
+  EXPECT_THROW((void)g.attacker(), std::logic_error);
+  g.set_attacker(a);
+  EXPECT_EQ(g.attacker(), a);
+  EXPECT_THROW(g.enumerate_attack_paths({true}), std::logic_error);  // no target
+}
+
+TEST(AttackGraph, DiamondHasTwoPaths) {
+  const Diamond d;
+  const auto paths = d.g.enumerate_attack_paths(d.all_attackable());
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.back(), d.target);
+  }
+}
+
+TEST(AttackGraph, MaskRemovesPaths) {
+  const Diamond d;
+  std::vector<bool> mask = d.all_attackable();
+  mask[d.a] = false;
+  const auto paths = d.g.enumerate_attack_paths(mask);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0][0], d.b);
+}
+
+TEST(AttackGraph, UnattackableTargetMeansNoPaths) {
+  const Diamond d;
+  std::vector<bool> mask = d.all_attackable();
+  mask[d.target] = false;
+  EXPECT_TRUE(d.g.enumerate_attack_paths(mask).empty());
+}
+
+TEST(AttackGraph, MaskSizeMismatchThrows) {
+  const Diamond d;
+  EXPECT_THROW(d.g.enumerate_attack_paths({true, true}), std::invalid_argument);
+}
+
+TEST(AttackGraph, PathsAreSimpleNoCycles) {
+  // attacker -> a <-> b -> target: the cycle a<->b must not create infinite
+  // or repeated-node paths.
+  hm::AttackGraph g;
+  const auto attacker = g.add_node("attacker");
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  const auto target = g.add_node("t");
+  g.set_attacker(attacker);
+  g.add_target(target);
+  g.add_edge(attacker, a);
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  g.add_edge(b, target);
+  const auto paths = g.enumerate_attack_paths(std::vector<bool>(4, true));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size(), 3u);  // a, b, t
+}
+
+TEST(AttackGraph, PathsStopAtFirstTarget) {
+  // target1 -> target2: a path must end at the first target it reaches.
+  hm::AttackGraph g;
+  const auto attacker = g.add_node("attacker");
+  const auto t1 = g.add_node("t1");
+  const auto t2 = g.add_node("t2");
+  g.set_attacker(attacker);
+  g.add_target(t1);
+  g.add_target(t2);
+  g.add_edge(attacker, t1);
+  g.add_edge(t1, t2);
+  const auto paths = g.enumerate_attack_paths(std::vector<bool>(3, true));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size(), 1u);
+  EXPECT_EQ(paths[0][0], t1);
+}
+
+TEST(AttackGraph, MultiTargetCountsPerTarget) {
+  // attacker -> a -> {t1, t2}: two paths (the 2-DB redundancy design shape).
+  hm::AttackGraph g;
+  const auto attacker = g.add_node("attacker");
+  const auto a = g.add_node("a");
+  const auto t1 = g.add_node("t1");
+  const auto t2 = g.add_node("t2");
+  g.set_attacker(attacker);
+  g.add_target(t1);
+  g.add_target(t2);
+  g.add_edge(attacker, a);
+  g.add_edge(a, t1);
+  g.add_edge(a, t2);
+  EXPECT_EQ(g.enumerate_attack_paths(std::vector<bool>(4, true)).size(), 2u);
+}
+
+TEST(AttackGraph, MaxPathsBoundEnforced) {
+  // Complete bipartite layers generate 3*3 = 9 paths; cap at 4.
+  hm::AttackGraph g;
+  const auto attacker = g.add_node("attacker");
+  std::vector<hm::GraphNodeId> layer1, layer2;
+  for (int i = 0; i < 3; ++i) layer1.push_back(g.add_node("x" + std::to_string(i)));
+  for (int i = 0; i < 3; ++i) layer2.push_back(g.add_node("y" + std::to_string(i)));
+  const auto target = g.add_node("t");
+  g.set_attacker(attacker);
+  g.add_target(target);
+  for (auto x : layer1) {
+    g.add_edge(attacker, x);
+    for (auto y : layer2) g.add_edge(x, y);
+  }
+  for (auto y : layer2) g.add_edge(y, target);
+  const std::vector<bool> mask(g.node_count(), true);
+  EXPECT_EQ(g.enumerate_attack_paths(mask).size(), 9u);
+  EXPECT_THROW(g.enumerate_attack_paths(mask, 4), std::runtime_error);
+}

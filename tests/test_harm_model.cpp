@@ -1,0 +1,201 @@
+// Two-layer HARM tests: node/path/network metric composition, the paper's
+// worked example (aim_ap1 = 52.2) and the full Table II reproduction on the
+// example enterprise network.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "patchsec/enterprise/network.hpp"
+#include "patchsec/harm/harm.hpp"
+
+namespace hm = patchsec::harm;
+namespace ent = patchsec::enterprise;
+
+namespace {
+
+patchsec::nvd::Vulnerability vuln(const char* id, const char* vector) {
+  patchsec::nvd::Vulnerability v;
+  v.cve_id = id;
+  v.product = "test";
+  v.vector = patchsec::cvss::CvssV2Vector::parse(vector);
+  v.remotely_exploitable = true;
+  return v;
+}
+
+}  // namespace
+
+TEST(Harm, AttachAndQueryTrees) {
+  hm::AttackGraph g;
+  const auto attacker = g.add_node("attacker");
+  const auto server = g.add_node("server");
+  g.set_attacker(attacker);
+  g.add_target(server);
+  g.add_edge(attacker, server);
+
+  hm::Harm model(std::move(g));
+  EXPECT_THROW((void)model.tree(server), std::out_of_range);
+  EXPECT_FALSE(model.attackable(server));
+  EXPECT_THROW(model.attach_tree(attacker, hm::AttackTree{}), std::invalid_argument);
+
+  model.attach_tree(server, hm::make_or_tree({vuln("v", "AV:N/AC:L/Au:N/C:C/I:C/A:C")}));
+  EXPECT_TRUE(model.attackable(server));
+  EXPECT_DOUBLE_EQ(model.node_impact(server), 10.0);
+  EXPECT_DOUBLE_EQ(model.node_probability(server), 1.0);
+}
+
+TEST(Harm, PathMetricsComposeAcrossNodes) {
+  // attacker -> n1 -> n2; impact adds, probability multiplies.
+  hm::AttackGraph g;
+  const auto attacker = g.add_node("attacker");
+  const auto n1 = g.add_node("n1");
+  const auto n2 = g.add_node("n2");
+  g.set_attacker(attacker);
+  g.add_target(n2);
+  g.add_edge(attacker, n1);
+  g.add_edge(n1, n2);
+
+  hm::Harm model(std::move(g));
+  model.attach_tree(n1, hm::make_or_tree({vuln("a", "AV:L/AC:L/Au:N/C:C/I:C/A:C")}));  // 10, .39
+  model.attach_tree(n2, hm::make_or_tree({vuln("b", "AV:N/AC:M/Au:N/C:P/I:N/A:N")}));  // 2.9, .86
+
+  const auto paths = model.attack_paths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(paths[0].impact, 12.9);
+  EXPECT_NEAR(paths[0].probability, 0.39 * 0.86, 1e-12);
+
+  const hm::SecurityMetrics m = model.evaluate();
+  EXPECT_DOUBLE_EQ(m.attack_impact, 12.9);
+  EXPECT_NEAR(m.attack_success_probability, 0.39 * 0.86, 1e-12);
+  EXPECT_EQ(m.attack_paths, 1u);
+  EXPECT_EQ(m.entry_points, 1u);
+  EXPECT_EQ(m.exploitable_vulnerabilities, 2u);
+}
+
+TEST(Harm, NetworkAspAggregatesOverPaths) {
+  // Diamond with identical nodes p=0.5 per node, two 1-node paths:
+  // ASP = 1 - (1-0.5)^2 = 0.75... here each path has one node with p=0.39.
+  hm::AttackGraph g;
+  const auto attacker = g.add_node("attacker");
+  const auto t1 = g.add_node("t1");
+  const auto t2 = g.add_node("t2");
+  g.set_attacker(attacker);
+  g.add_target(t1);
+  g.add_target(t2);
+  g.add_edge(attacker, t1);
+  g.add_edge(attacker, t2);
+
+  hm::Harm model(std::move(g));
+  const auto local = vuln("v", "AV:L/AC:L/Au:N/C:C/I:C/A:C");  // p 0.39
+  model.attach_tree(t1, hm::make_or_tree({local}));
+  model.attach_tree(t2, hm::make_or_tree({local}));
+
+  const hm::SecurityMetrics m = model.evaluate();
+  EXPECT_NEAR(m.attack_success_probability, 1.0 - (1.0 - 0.39) * (1.0 - 0.39), 1e-12);
+  EXPECT_EQ(m.attack_paths, 2u);
+  EXPECT_EQ(m.entry_points, 2u);
+}
+
+TEST(Harm, NoPathsMeansZeroAimAsp) {
+  hm::AttackGraph g;
+  const auto attacker = g.add_node("attacker");
+  const auto server = g.add_node("server");
+  g.set_attacker(attacker);
+  g.add_target(server);
+  g.add_edge(attacker, server);
+  hm::Harm model(std::move(g));
+  // Infeasible tree: server not attackable, but its (zero) vulnerabilities
+  // still count toward NoEV.
+  model.attach_tree(server, hm::AttackTree{});
+  const hm::SecurityMetrics m = model.evaluate();
+  EXPECT_DOUBLE_EQ(m.attack_impact, 0.0);
+  EXPECT_DOUBLE_EQ(m.attack_success_probability, 0.0);
+  EXPECT_EQ(m.attack_paths, 0u);
+  EXPECT_EQ(m.entry_points, 0u);
+}
+
+// ---------- the paper's example network (Fig. 3 / Table II) -------------------
+
+class ExampleNetworkHarm : public ::testing::Test {
+ protected:
+  ExampleNetworkHarm()
+      : network_(ent::example_network()), before_(network_.build_harm()),
+        after_(before_.after_critical_patch()) {}
+  ent::NetworkModel network_;
+  hm::Harm before_;
+  hm::Harm after_;
+};
+
+TEST_F(ExampleNetworkHarm, NodeImpactsMatchWorkedExample) {
+  const auto& g = before_.graph();
+  EXPECT_DOUBLE_EQ(before_.node_impact(g.node("dns1")), 10.0);
+  EXPECT_DOUBLE_EQ(before_.node_impact(g.node("web1")), 12.9);
+  EXPECT_DOUBLE_EQ(before_.node_impact(g.node("app1")), 16.4);
+  EXPECT_DOUBLE_EQ(before_.node_impact(g.node("db1")), 12.9);
+}
+
+TEST_F(ExampleNetworkHarm, LongestPathImpactIs52_2) {
+  // aim_ap1 = 10.0 + 12.9 + 16.4 + 12.9 = 52.2 (Sec. III-C).
+  const auto paths = before_.attack_paths();
+  double best = 0.0;
+  for (const auto& p : paths) best = std::max(best, p.impact);
+  EXPECT_DOUBLE_EQ(best, 52.2);
+}
+
+TEST_F(ExampleNetworkHarm, TableTwoBeforePatch) {
+  const hm::SecurityMetrics m = before_.evaluate();
+  EXPECT_DOUBLE_EQ(m.attack_impact, 52.2);               // paper: 52.2
+  EXPECT_DOUBLE_EQ(m.attack_success_probability, 1.0);   // paper: 1.0
+  EXPECT_EQ(m.attack_paths, 8u);                         // paper: 8
+  EXPECT_EQ(m.entry_points, 3u);                         // paper: 3
+  // Paper reports 25; summing Table I per server gives 26 (documented
+  // deviation #1 in DESIGN.md).
+  EXPECT_EQ(m.exploitable_vulnerabilities, 26u);
+}
+
+TEST_F(ExampleNetworkHarm, TableTwoAfterPatch) {
+  const hm::SecurityMetrics m = after_.evaluate();
+  EXPECT_DOUBLE_EQ(m.attack_impact, 42.2);  // paper: 42.2
+  EXPECT_EQ(m.exploitable_vulnerabilities, 11u);  // paper: 11
+  EXPECT_EQ(m.attack_paths, 4u);                  // paper: 4
+  EXPECT_EQ(m.entry_points, 2u);                  // paper: 2
+  // Our path-aggregation formula yields 0.217 (paper reports 0.265 from a
+  // formula in refs [20][21]; documented deviation #2).
+  const double asp_path = 0.39 * 0.39 * 0.39;
+  EXPECT_NEAR(m.attack_success_probability, 1.0 - std::pow(1.0 - asp_path, 4.0), 1e-12);
+}
+
+TEST_F(ExampleNetworkHarm, DnsDropsOutAfterPatch) {
+  const auto& g = after_.graph();
+  EXPECT_FALSE(after_.attackable(g.node("dns1")));
+  EXPECT_TRUE(after_.attackable(g.node("web1")));
+  EXPECT_TRUE(after_.attackable(g.node("web2")));
+  // After-patch paths must all start at a web server and have length 3.
+  for (const auto& p : after_.attack_paths()) {
+    ASSERT_EQ(p.nodes.size(), 3u);
+    const std::string first = g.name(p.nodes.front());
+    EXPECT_TRUE(first == "web1" || first == "web2") << first;
+  }
+}
+
+TEST_F(ExampleNetworkHarm, AfterPatchNodeImpactsUnchangedForSurvivors) {
+  const auto& g = after_.graph();
+  // AND(v4, v5) keeps the web/app impact at 12.9/16.4 (Table II's AIM 42.2).
+  EXPECT_DOUBLE_EQ(after_.node_impact(g.node("web1")), 12.9);
+  EXPECT_DOUBLE_EQ(after_.node_impact(g.node("app1")), 16.4);
+  EXPECT_DOUBLE_EQ(after_.node_impact(g.node("db1")), 12.9);
+  EXPECT_DOUBLE_EQ(after_.node_probability(g.node("web1")), 0.39);
+  EXPECT_DOUBLE_EQ(after_.node_probability(g.node("app1")), 0.39);
+  EXPECT_DOUBLE_EQ(after_.node_probability(g.node("db1")), 0.39);
+}
+
+TEST_F(ExampleNetworkHarm, PatchImprovesEveryMetric) {
+  const hm::SecurityMetrics b = before_.evaluate();
+  const hm::SecurityMetrics a = after_.evaluate();
+  EXPECT_LT(a.attack_impact, b.attack_impact);
+  EXPECT_LT(a.attack_success_probability, b.attack_success_probability);
+  EXPECT_LT(a.exploitable_vulnerabilities, b.exploitable_vulnerabilities);
+  EXPECT_LT(a.attack_paths, b.attack_paths);
+  EXPECT_LT(a.entry_points, b.entry_points);
+}

@@ -1,0 +1,194 @@
+// Attack-tree tests: gate semantics (OR = max, AND = sum/product), the
+// paper's worked web-server example, and the critical-patch pruning rules.
+
+#include <gtest/gtest.h>
+
+#include "patchsec/harm/attack_tree.hpp"
+
+namespace hm = patchsec::harm;
+namespace nv = patchsec::nvd;
+
+namespace {
+
+nv::Vulnerability vuln(const char* id, const char* vector, bool exploitable = true) {
+  nv::Vulnerability v;
+  v.cve_id = id;
+  v.product = "test";
+  v.vector = patchsec::cvss::CvssV2Vector::parse(vector);
+  v.remotely_exploitable = exploitable;
+  return v;
+}
+
+// The Table I archetypes.
+nv::Vulnerability crit_full(const char* id) { return vuln(id, "AV:N/AC:L/Au:N/C:C/I:C/A:C"); }
+nv::Vulnerability low_partial(const char* id) { return vuln(id, "AV:N/AC:L/Au:N/C:P/I:N/A:N"); }
+nv::Vulnerability local_full(const char* id) { return vuln(id, "AV:L/AC:L/Au:N/C:C/I:C/A:C"); }
+
+}  // namespace
+
+TEST(AttackTree, EmptyTreeInfeasible) {
+  const hm::AttackTree tree;
+  EXPECT_TRUE(tree.infeasible());
+  EXPECT_THROW((void)tree.attack_impact(), std::logic_error);
+  EXPECT_THROW((void)tree.attack_success_probability(), std::logic_error);
+  EXPECT_EQ(tree.exploitable_vulnerability_count(), 0u);
+}
+
+TEST(AttackTree, SingleLeafValues) {
+  hm::AttackTree tree;
+  tree.set_root(tree.add_leaf(crit_full("CVE-1")));
+  EXPECT_DOUBLE_EQ(tree.attack_impact(), 10.0);
+  EXPECT_DOUBLE_EQ(tree.attack_success_probability(), 1.0);
+  EXPECT_EQ(tree.exploitable_vulnerability_count(), 1u);
+}
+
+TEST(AttackTree, OrGateTakesMax) {
+  hm::AttackTree tree;
+  const auto a = tree.add_leaf(low_partial("CVE-a"));   // impact 2.9, p 1.0
+  const auto b = tree.add_leaf(local_full("CVE-b"));    // impact 10.0, p 0.39
+  tree.set_root(tree.add_gate(hm::GateType::kOr, {a, b}));
+  EXPECT_DOUBLE_EQ(tree.attack_impact(), 10.0);
+  EXPECT_DOUBLE_EQ(tree.attack_success_probability(), 1.0);
+}
+
+TEST(AttackTree, AndGateSumsImpactMultipliesProbability) {
+  hm::AttackTree tree;
+  const auto a = tree.add_leaf(low_partial("CVE-a"));  // 2.9, 1.0
+  const auto b = tree.add_leaf(local_full("CVE-b"));   // 10.0, 0.39
+  tree.set_root(tree.add_gate(hm::GateType::kAnd, {a, b}));
+  EXPECT_DOUBLE_EQ(tree.attack_impact(), 12.9);
+  EXPECT_DOUBLE_EQ(tree.attack_success_probability(), 0.39);
+}
+
+TEST(AttackTree, PaperWebServerExample) {
+  // web AT = OR(v1, v2, v3, AND(v4, v5)):
+  //   aim = max(10.0, 10.0, 10.0, 2.9 + 10.0) = 12.9   (Sec. III-C)
+  const hm::AttackTree tree = hm::make_or_tree(
+      {crit_full("v1web"), crit_full("v2web"), crit_full("v3web")},
+      {{low_partial("v4web"), local_full("v5web")}});
+  EXPECT_DOUBLE_EQ(tree.attack_impact(), 12.9);
+  EXPECT_DOUBLE_EQ(tree.attack_success_probability(), 1.0);
+  EXPECT_EQ(tree.exploitable_vulnerability_count(), 5u);
+}
+
+TEST(AttackTree, GateValidation) {
+  hm::AttackTree tree;
+  const auto leaf = tree.add_leaf(crit_full("CVE-1"));
+  EXPECT_THROW((void)tree.add_gate(hm::GateType::kLeaf, {leaf}), std::invalid_argument);
+  EXPECT_THROW((void)tree.add_gate(hm::GateType::kOr, {}), std::invalid_argument);
+  EXPECT_THROW((void)tree.add_gate(hm::GateType::kOr, {99}), std::out_of_range);
+  const auto gate = tree.add_gate(hm::GateType::kOr, {leaf});
+  // leaf already has a parent now.
+  EXPECT_THROW((void)tree.add_gate(hm::GateType::kAnd, {leaf}), std::invalid_argument);
+  tree.set_root(gate);
+  EXPECT_DOUBLE_EQ(tree.attack_impact(), 10.0);
+}
+
+TEST(AttackTree, LeavesReturnedInOrder) {
+  const hm::AttackTree tree = hm::make_or_tree({crit_full("A"), crit_full("B")},
+                                               {{low_partial("C"), local_full("D")}});
+  const auto leaves = tree.leaves();
+  ASSERT_EQ(leaves.size(), 4u);
+  EXPECT_EQ(leaves[0].cve_id, "A");
+  EXPECT_EQ(leaves[1].cve_id, "B");
+  EXPECT_EQ(leaves[2].cve_id, "C");
+  EXPECT_EQ(leaves[3].cve_id, "D");
+}
+
+// ---------- patch pruning ------------------------------------------------------
+
+TEST(AttackTreePatch, OrSurvivesPartialPrune) {
+  const hm::AttackTree tree = hm::make_or_tree({crit_full("crit"), local_full("keeper")});
+  const hm::AttackTree after = tree.after_critical_patch();
+  ASSERT_FALSE(after.infeasible());
+  EXPECT_DOUBLE_EQ(after.attack_impact(), 10.0);
+  EXPECT_DOUBLE_EQ(after.attack_success_probability(), 0.39);
+  EXPECT_EQ(after.exploitable_vulnerability_count(), 1u);
+}
+
+TEST(AttackTreePatch, OrDiesWhenAllChildrenPruned) {
+  const hm::AttackTree tree = hm::make_or_tree({crit_full("c1"), crit_full("c2")});
+  EXPECT_TRUE(tree.after_critical_patch().infeasible());
+}
+
+TEST(AttackTreePatch, AndDiesWhenOneLegPruned) {
+  hm::AttackTree tree;
+  const auto a = tree.add_leaf(crit_full("critical-leg"));
+  const auto b = tree.add_leaf(local_full("surviving-leg"));
+  tree.set_root(tree.add_gate(hm::GateType::kAnd, {a, b}));
+  EXPECT_TRUE(tree.after_critical_patch().infeasible());
+}
+
+TEST(AttackTreePatch, AndSurvivesWhenNoLegPruned) {
+  hm::AttackTree tree;
+  const auto a = tree.add_leaf(low_partial("a"));
+  const auto b = tree.add_leaf(local_full("b"));
+  tree.set_root(tree.add_gate(hm::GateType::kAnd, {a, b}));
+  const hm::AttackTree after = tree.after_critical_patch();
+  ASSERT_FALSE(after.infeasible());
+  EXPECT_DOUBLE_EQ(after.attack_impact(), 12.9);
+}
+
+TEST(AttackTreePatch, PaperWebServerAfterPatch) {
+  // After removing critical v1..v3, only AND(v4, v5) remains: aim stays 12.9
+  // (Table II's AIM after patch builds on this), asp falls to 0.39.
+  const hm::AttackTree tree = hm::make_or_tree(
+      {crit_full("v1web"), crit_full("v2web"), crit_full("v3web")},
+      {{low_partial("v4web"), local_full("v5web")}});
+  const hm::AttackTree after = tree.after_critical_patch();
+  ASSERT_FALSE(after.infeasible());
+  EXPECT_DOUBLE_EQ(after.attack_impact(), 12.9);
+  EXPECT_DOUBLE_EQ(after.attack_success_probability(), 0.39);
+  EXPECT_EQ(after.exploitable_vulnerability_count(), 2u);
+}
+
+TEST(AttackTreePatch, CustomPredicate) {
+  const hm::AttackTree tree = hm::make_or_tree({crit_full("KEEP-1"), crit_full("DROP-1")});
+  const hm::AttackTree after = tree.after_patch(
+      [](const nv::Vulnerability& v) { return v.cve_id.rfind("DROP", 0) == 0; });
+  ASSERT_FALSE(after.infeasible());
+  EXPECT_EQ(after.leaves().size(), 1u);
+  EXPECT_EQ(after.leaves()[0].cve_id, "KEEP-1");
+}
+
+TEST(AttackTreePatch, NullPredicateThrows) {
+  const hm::AttackTree tree = hm::make_or_tree({crit_full("v")});
+  EXPECT_THROW((void)tree.after_patch(nullptr), std::invalid_argument);
+}
+
+TEST(AttackTreePatch, PatchIsIdempotent) {
+  const hm::AttackTree tree = hm::make_or_tree(
+      {crit_full("v1")}, {{low_partial("v4"), local_full("v5")}});
+  const hm::AttackTree once = tree.after_critical_patch();
+  const hm::AttackTree twice = once.after_critical_patch();
+  ASSERT_FALSE(twice.infeasible());
+  EXPECT_DOUBLE_EQ(once.attack_impact(), twice.attack_impact());
+  EXPECT_DOUBLE_EQ(once.attack_success_probability(), twice.attack_success_probability());
+  EXPECT_EQ(once.exploitable_vulnerability_count(), twice.exploitable_vulnerability_count());
+}
+
+TEST(AttackTreePatch, InfeasibleTreePatchesToInfeasible) {
+  const hm::AttackTree empty;
+  EXPECT_TRUE(empty.after_critical_patch().infeasible());
+}
+
+TEST(MakeOrTree, SingleLeafCollapses) {
+  const hm::AttackTree tree = hm::make_or_tree({crit_full("only")});
+  EXPECT_DOUBLE_EQ(tree.attack_impact(), 10.0);
+  EXPECT_EQ(tree.node_count(), 1u);  // no superfluous OR gate
+}
+
+TEST(MakeOrTree, SingletonAndGroupCollapses) {
+  const hm::AttackTree tree = hm::make_or_tree({crit_full("a")}, {{local_full("b")}});
+  // OR(a, b) with b a collapsed single-member group: 3 nodes (2 leaves + OR).
+  EXPECT_EQ(tree.node_count(), 3u);
+  EXPECT_DOUBLE_EQ(tree.attack_success_probability(), 1.0);
+}
+
+TEST(MakeOrTree, EmptyAndGroupThrows) {
+  EXPECT_THROW((void)hm::make_or_tree({crit_full("a")}, {{}}), std::invalid_argument);
+}
+
+TEST(MakeOrTree, NoInputsGivesInfeasible) {
+  EXPECT_TRUE(hm::make_or_tree({}).infeasible());
+}

@@ -1,0 +1,173 @@
+// Tests for heterogeneous redundancy (Sec. V "systems" extension): mixed
+// server specs within a tier, per-instance attack trees in the HARM, and
+// per-instance availability chains in the COA model.
+
+#include <gtest/gtest.h>
+
+#include "patchsec/avail/heterogeneous_coa.hpp"
+#include "patchsec/enterprise/heterogeneous.hpp"
+
+namespace av = patchsec::avail;
+namespace ent = patchsec::enterprise;
+namespace hm = patchsec::harm;
+namespace nv = patchsec::nvd;
+
+namespace {
+
+nv::Vulnerability vuln(const char* id, const char* vector, bool critical_full = true) {
+  nv::Vulnerability v;
+  v.cve_id = id;
+  v.product = "x";
+  v.vector = patchsec::cvss::CvssV2Vector::parse(vector);
+  v.remotely_exploitable = true;
+  (void)critical_full;
+  return v;
+}
+
+/// A web spec with one critical (patched away) and one surviving local vuln.
+ent::ServerSpec spec_with_survivor(const char* prefix) {
+  ent::ServerSpec s;
+  s.role = ent::ServerRole::kWeb;
+  s.os_name = "os";
+  s.service_name = prefix;
+  const auto crit = vuln((std::string(prefix) + "-crit").c_str(), "AV:N/AC:L/Au:N/C:C/I:C/A:C");
+  const auto local = vuln((std::string(prefix) + "-local").c_str(), "AV:L/AC:L/Au:N/C:C/I:C/A:C");
+  s.vulnerabilities = {crit, local};
+  s.attack_tree = hm::make_or_tree({crit, local});
+  return s;
+}
+
+/// A web spec that becomes unattackable after patching.
+ent::ServerSpec spec_fully_patchable(const char* prefix) {
+  ent::ServerSpec s;
+  s.role = ent::ServerRole::kWeb;
+  s.os_name = "os";
+  s.service_name = prefix;
+  const auto crit = vuln((std::string(prefix) + "-crit").c_str(), "AV:N/AC:L/Au:N/C:C/I:C/A:C");
+  s.vulnerabilities = {crit};
+  s.attack_tree = hm::make_or_tree({crit});
+  return s;
+}
+
+ent::ServerSpec target_spec() {
+  ent::ServerSpec s = spec_with_survivor("db");
+  s.role = ent::ServerRole::kDb;
+  return s;
+}
+
+ent::ReachabilityPolicy two_tier_policy() {
+  ent::ReachabilityPolicy p;
+  p.attacker_reaches = [](ent::ServerRole r) { return r == ent::ServerRole::kWeb; };
+  p.reaches = [](ent::ServerRole from, ent::ServerRole to) {
+    return from == ent::ServerRole::kWeb && to == ent::ServerRole::kDb;
+  };
+  p.target_role = ent::ServerRole::kDb;
+  return p;
+}
+
+}  // namespace
+
+TEST(HeterogeneousNetwork, Validation) {
+  EXPECT_THROW(ent::HeterogeneousNetwork({}, two_tier_policy()), std::invalid_argument);
+  EXPECT_THROW(ent::HeterogeneousNetwork(
+                   {{"", ent::ServerRole::kWeb, spec_with_survivor("a")}}, two_tier_policy()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ent::HeterogeneousNetwork({{"a", ent::ServerRole::kWeb, spec_with_survivor("a")},
+                                 {"a", ent::ServerRole::kWeb, spec_with_survivor("b")}},
+                                two_tier_policy()),
+      std::invalid_argument);
+  // No target-role instance.
+  EXPECT_THROW(ent::HeterogeneousNetwork(
+                   {{"w", ent::ServerRole::kWeb, spec_with_survivor("w")}}, two_tier_policy()),
+               std::invalid_argument);
+}
+
+TEST(HeterogeneousNetwork, MixedTierSurvivesPatchOnOneBoxOnly) {
+  // Tier of two *different* web servers: one fully patchable (apache-like),
+  // one with a surviving local vuln (nginx-like).  After patch only one
+  // remains attackable — the headline benefit of heterogeneous redundancy.
+  const ent::HeterogeneousNetwork network(
+      {{"web-a", ent::ServerRole::kWeb, spec_fully_patchable("a")},
+       {"web-b", ent::ServerRole::kWeb, spec_with_survivor("b")},
+       {"db1", ent::ServerRole::kDb, target_spec()}},
+      two_tier_policy());
+
+  const hm::Harm before = network.build_harm();
+  const hm::Harm after = before.after_critical_patch();
+  EXPECT_EQ(before.evaluate().attack_paths, 2u);
+  EXPECT_EQ(before.evaluate().entry_points, 2u);
+  EXPECT_EQ(after.evaluate().attack_paths, 1u);  // web-a dropped out
+  EXPECT_EQ(after.evaluate().entry_points, 1u);
+  EXPECT_FALSE(after.attackable(after.graph().node("web-a")));
+  EXPECT_TRUE(after.attackable(after.graph().node("web-b")));
+}
+
+TEST(HeterogeneousNetwork, CountsAndVulnerabilities) {
+  const ent::HeterogeneousNetwork network(
+      {{"web-a", ent::ServerRole::kWeb, spec_fully_patchable("a")},
+       {"web-b", ent::ServerRole::kWeb, spec_with_survivor("b")},
+       {"db1", ent::ServerRole::kDb, target_spec()}},
+      two_tier_policy());
+  EXPECT_EQ(network.count(ent::ServerRole::kWeb), 2u);
+  EXPECT_EQ(network.count(ent::ServerRole::kDb), 1u);
+  EXPECT_EQ(network.count(ent::ServerRole::kDns), 0u);
+  EXPECT_EQ(network.exploitable_vulnerability_count(), 1u + 2u + 2u);
+}
+
+// ---------- heterogeneous COA ----------------------------------------------------
+
+TEST(HeterogeneousCoa, MatchesClosedFormOnMixedRates) {
+  const std::vector<av::InstanceRates> instances = {
+      {ent::ServerRole::kWeb, {.lambda_eq = 1.0 / 720.0, .mu_eq = 1.7}},
+      {ent::ServerRole::kWeb, {.lambda_eq = 1.0 / 720.0, .mu_eq = 0.8}},  // slower box
+      {ent::ServerRole::kDb, {.lambda_eq = 1.0 / 720.0, .mu_eq = 1.1}},
+  };
+  const double srn = av::heterogeneous_coa(instances);
+  const double closed = av::heterogeneous_coa_closed_form(instances);
+  EXPECT_NEAR(srn, closed, 1e-10);
+  EXPECT_GT(srn, 0.99);
+  EXPECT_LT(srn, 1.0);
+}
+
+TEST(HeterogeneousCoa, DegeneratesToHomogeneousModel) {
+  // Identical instances must reproduce the homogeneous per-tier model.
+  const av::AggregatedRates r{.lambda_eq = 1.0 / 720.0, .mu_eq = 1.0};
+  const std::vector<av::InstanceRates> instances = {
+      {ent::ServerRole::kApp, r}, {ent::ServerRole::kApp, r}};
+  const double het = av::heterogeneous_coa(instances);
+  // Homogeneous 2-server tier: E[up]/2 with the all-down state scoring 0.
+  const double a = r.mu_eq / (r.mu_eq + r.lambda_eq);
+  const double expected = (2.0 * a) / 2.0;  // E[up*1{alive}]/2 = E[up]/2
+  EXPECT_NEAR(het, expected, 1e-10);
+}
+
+TEST(HeterogeneousCoa, FasterReplacementBoxImprovesCoa) {
+  const av::AggregatedRates slow{.lambda_eq = 1.0 / 720.0, .mu_eq = 0.5};
+  const av::AggregatedRates fast{.lambda_eq = 1.0 / 720.0, .mu_eq = 2.0};
+  const std::vector<av::InstanceRates> slow_pair = {
+      {ent::ServerRole::kWeb, slow}, {ent::ServerRole::kWeb, slow}};
+  const std::vector<av::InstanceRates> mixed = {
+      {ent::ServerRole::kWeb, slow}, {ent::ServerRole::kWeb, fast}};
+  EXPECT_GT(av::heterogeneous_coa(mixed), av::heterogeneous_coa(slow_pair));
+}
+
+TEST(HeterogeneousCoa, EndToEndFromNetwork) {
+  const ent::HeterogeneousNetwork network(
+      {{"web-a", ent::ServerRole::kWeb, spec_fully_patchable("a")},
+       {"web-b", ent::ServerRole::kWeb, spec_with_survivor("b")},
+       {"db1", ent::ServerRole::kDb, target_spec()}},
+      two_tier_policy());
+  const double coa = av::heterogeneous_coa(network, 720.0);
+  EXPECT_GT(coa, 0.99);
+  EXPECT_LT(coa, 1.0);
+}
+
+TEST(HeterogeneousCoa, Validation) {
+  EXPECT_THROW((void)av::heterogeneous_coa(std::vector<av::InstanceRates>{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)av::heterogeneous_coa_closed_form({}), std::invalid_argument);
+  EXPECT_THROW((void)av::build_heterogeneous_srn(
+                   {{ent::ServerRole::kWeb, {.lambda_eq = 0.0, .mu_eq = 1.0}}}),
+               std::invalid_argument);
+}

@@ -1,0 +1,128 @@
+// Tests for the offline NVD database: API behaviour plus an exact
+// reproduction of Table I (the per-vulnerability attack impact and attack
+// success probability of the example network).
+
+#include <gtest/gtest.h>
+
+#include "patchsec/nvd/database.hpp"
+
+namespace nv = patchsec::nvd;
+
+TEST(Database, AddAndFind) {
+  nv::VulnerabilityDatabase db;
+  nv::Vulnerability v;
+  v.cve_id = "CVE-0000-0001";
+  v.product = "widget";
+  v.vector = patchsec::cvss::CvssV2Vector::parse("AV:N/AC:L/Au:N/C:C/I:C/A:C");
+  db.add(v);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_TRUE(db.contains("CVE-0000-0001"));
+  EXPECT_FALSE(db.contains("CVE-0000-0002"));
+  EXPECT_EQ(db.find("CVE-0000-0001").product, "widget");
+  EXPECT_THROW(db.find("CVE-9999-9999"), std::out_of_range);
+}
+
+TEST(Database, RejectsEmptyIdAndDuplicates) {
+  nv::VulnerabilityDatabase db;
+  nv::Vulnerability v;
+  EXPECT_THROW(db.add(v), std::invalid_argument);  // empty id
+  v.cve_id = "CVE-0000-0001";
+  v.product = "widget";
+  db.add(v);
+  EXPECT_THROW(db.add(v), std::invalid_argument);  // duplicate (id, product)
+  v.product = "other-widget";
+  EXPECT_NO_THROW(db.add(v));  // same CVE, different product: allowed
+}
+
+TEST(Database, QueryByProductAndFlags) {
+  const nv::VulnerabilityDatabase db = nv::make_paper_database();
+  EXPECT_EQ(db.by_product("PHP").size(), 2u);
+  EXPECT_EQ(db.by_product("Oracle WebLogic").size(), 4u);
+  EXPECT_EQ(db.by_product("MySQL").size(), 4u);
+  EXPECT_TRUE(db.by_product("nonexistent").empty());
+}
+
+TEST(PaperDatabase, SixteenExploitableEntries) {
+  const nv::VulnerabilityDatabase db = nv::make_paper_database();
+  // Table I lists 16 rows (CVE-2016-4997 appears twice: app and db tier).
+  EXPECT_EQ(db.exploitable().size(), 16u);
+}
+
+TEST(PaperDatabase, NonExploitableOsCriticals) {
+  const nv::VulnerabilityDatabase db = nv::make_paper_database();
+  std::size_t synthetic = 0;
+  for (const nv::Vulnerability& v : db.all()) {
+    if (!v.remotely_exploitable) {
+      EXPECT_TRUE(v.is_critical()) << v.cve_id;
+      EXPECT_EQ(v.layer, nv::SoftwareLayer::kOs) << v.cve_id;
+      ++synthetic;
+    }
+  }
+  EXPECT_EQ(synthetic, 8u);  // 2 Windows + 3 OL7 app tier + 3 OL7 db tier
+}
+
+// Exact Table I reproduction: (cve, product, impact, probability).
+struct TableOneRow {
+  const char* cve;
+  const char* product;
+  double impact;
+  double probability;
+};
+
+class TableOne : public ::testing::TestWithParam<TableOneRow> {};
+
+TEST_P(TableOne, ImpactAndProbabilityMatchPaper) {
+  const nv::VulnerabilityDatabase db = nv::make_paper_database();
+  const TableOneRow& row = GetParam();
+  bool found = false;
+  for (const nv::Vulnerability& v : db.all()) {
+    if (v.cve_id == row.cve && v.product == row.product) {
+      EXPECT_DOUBLE_EQ(v.attack_impact(), row.impact) << row.cve;
+      EXPECT_DOUBLE_EQ(v.attack_success_probability(), row.probability) << row.cve;
+      EXPECT_TRUE(v.remotely_exploitable) << row.cve;
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << row.cve << " on " << row.product;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, TableOne,
+    ::testing::Values(
+        TableOneRow{"CVE-2016-3227", "Microsoft DNS", 10.0, 1.0},
+        TableOneRow{"CVE-2016-4448", "libxml2 (RHEL)", 10.0, 1.0},
+        TableOneRow{"CVE-2015-4602", "PHP", 10.0, 1.0},
+        TableOneRow{"CVE-2015-4603", "PHP", 10.0, 1.0},
+        TableOneRow{"CVE-2016-4979", "Apache HTTP", 2.9, 1.0},
+        TableOneRow{"CVE-2016-4805", "Linux kernel (RHEL)", 10.0, 0.39},
+        TableOneRow{"CVE-2016-3586", "Oracle WebLogic", 10.0, 1.0},
+        TableOneRow{"CVE-2016-3510", "Oracle WebLogic", 10.0, 1.0},
+        TableOneRow{"CVE-2016-3499", "Oracle WebLogic", 10.0, 1.0},
+        TableOneRow{"CVE-2016-0638", "Oracle WebLogic", 6.4, 1.0},
+        TableOneRow{"CVE-2016-4997", "Linux kernel (Oracle Linux 7, app tier)", 10.0, 0.39},
+        TableOneRow{"CVE-2016-6662", "MySQL", 10.0, 1.0},
+        TableOneRow{"CVE-2016-0639", "MySQL", 10.0, 1.0},
+        TableOneRow{"CVE-2015-3152", "MySQL", 2.9, 0.86},
+        TableOneRow{"CVE-2016-3471", "MySQL", 10.0, 0.39},
+        TableOneRow{"CVE-2016-4997", "Linux kernel (Oracle Linux 7, db tier)", 10.0, 0.39}));
+
+TEST(PaperDatabase, CriticalityClassification) {
+  const nv::VulnerabilityDatabase db = nv::make_paper_database();
+  // Critical (base > 8.0): the five remote-full-impact Table I entries.
+  for (const char* cve : {"CVE-2016-3227", "CVE-2016-4448", "CVE-2015-4602", "CVE-2015-4603",
+                          "CVE-2016-3586", "CVE-2016-3510", "CVE-2016-3499", "CVE-2016-6662",
+                          "CVE-2016-0639"}) {
+    EXPECT_TRUE(db.find(cve).is_critical()) << cve;
+  }
+  // Not critical: survive the patch and form the after-patch attack surface.
+  for (const char* cve :
+       {"CVE-2016-4979", "CVE-2016-4805", "CVE-2016-0638", "CVE-2015-3152", "CVE-2016-3471",
+        "CVE-2016-4997"}) {
+    EXPECT_FALSE(db.find(cve).is_critical()) << cve;
+  }
+}
+
+TEST(PaperDatabase, LayerToString) {
+  EXPECT_STREQ(nv::to_string(nv::SoftwareLayer::kOs), "OS");
+  EXPECT_STREQ(nv::to_string(nv::SoftwareLayer::kApplication), "application");
+}

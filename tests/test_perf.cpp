@@ -1,0 +1,178 @@
+// Tests for the performance module: M/M/c closed forms (against M/M/1
+// specials and known Erlang-C values) and the performability composition
+// with the availability model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "patchsec/avail/aggregation.hpp"
+#include "patchsec/enterprise/network.hpp"
+#include "patchsec/perf/mmc_queue.hpp"
+#include "patchsec/perf/performability.hpp"
+
+namespace pf = patchsec::perf;
+namespace av = patchsec::avail;
+namespace ent = patchsec::enterprise;
+
+// ---------- M/M/c closed forms --------------------------------------------------
+
+TEST(MmcQueue, Mm1SpecialCase) {
+  // M/M/1: W = 1/(mu - lambda), Lq = rho^2/(1-rho), P(wait) = rho.
+  const pf::MmcResult r = pf::solve_mmc({.arrival_rate = 3.0, .service_rate = 5.0, .servers = 1});
+  ASSERT_TRUE(r.stable);
+  EXPECT_NEAR(r.utilization, 0.6, 1e-12);
+  EXPECT_NEAR(r.wait_probability, 0.6, 1e-12);
+  EXPECT_NEAR(r.mean_response_time, 1.0 / (5.0 - 3.0), 1e-12);
+  EXPECT_NEAR(r.mean_queue_length, 0.36 / 0.4, 1e-12);
+  EXPECT_NEAR(r.mean_in_system, 3.0 * r.mean_response_time, 1e-12);
+}
+
+TEST(MmcQueue, LittleLawHolds) {
+  for (std::size_t c : {1u, 2u, 3u, 5u, 8u}) {
+    const pf::MmcResult r =
+        pf::solve_mmc({.arrival_rate = 4.0, .service_rate = 1.5, .servers = c});
+    if (!r.stable) continue;
+    EXPECT_NEAR(r.mean_in_system, 4.0 * r.mean_response_time, 1e-9) << "c=" << c;
+    EXPECT_NEAR(r.mean_queue_length, 4.0 * r.mean_waiting_time, 1e-9) << "c=" << c;
+  }
+}
+
+TEST(MmcQueue, KnownErlangCValues) {
+  // Classic reference: c=2, a=1 => C = 1/3.
+  EXPECT_NEAR(pf::erlang_c(2, 1.0), 1.0 / 3.0, 1e-12);
+  // c=1 reduces to rho.
+  EXPECT_NEAR(pf::erlang_c(1, 0.7), 0.7, 1e-12);
+  // Zero load: never wait.
+  EXPECT_DOUBLE_EQ(pf::erlang_c(4, 0.0), 0.0);
+  // Saturation: always wait.
+  EXPECT_DOUBLE_EQ(pf::erlang_c(2, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(pf::erlang_c(2, 5.0), 1.0);
+}
+
+TEST(MmcQueue, MoreServersReduceWaiting) {
+  double prev = INFINITY;
+  for (std::size_t c = 2; c <= 8; ++c) {
+    const pf::MmcResult r =
+        pf::solve_mmc({.arrival_rate = 2.4, .service_rate = 1.5, .servers = c});
+    ASSERT_TRUE(r.stable);
+    EXPECT_LT(r.mean_waiting_time, prev);
+    prev = r.mean_waiting_time;
+  }
+}
+
+TEST(MmcQueue, UnstableQueueFlagged) {
+  const pf::MmcResult r = pf::solve_mmc({.arrival_rate = 10.0, .service_rate = 1.0, .servers = 4});
+  EXPECT_FALSE(r.stable);
+  EXPECT_TRUE(std::isinf(r.mean_response_time));
+  EXPECT_DOUBLE_EQ(r.wait_probability, 1.0);
+}
+
+TEST(MmcQueue, Validation) {
+  EXPECT_THROW((void)pf::solve_mmc({.arrival_rate = 0.0, .service_rate = 1.0, .servers = 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)pf::solve_mmc({.arrival_rate = 1.0, .service_rate = 0.0, .servers = 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)pf::solve_mmc({.arrival_rate = 1.0, .service_rate = 1.0, .servers = 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)pf::erlang_c(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)pf::erlang_c(2, -1.0), std::invalid_argument);
+}
+
+TEST(MmcQueue, TandemSumsResponseTimes) {
+  const pf::MmcParameters stations[] = {{2.0, 5.0, 1}, {2.0, 4.0, 2}};
+  const double expected = pf::solve_mmc(stations[0]).mean_response_time +
+                          pf::solve_mmc(stations[1]).mean_response_time;
+  EXPECT_NEAR(pf::tandem_response_time(stations, 2), expected, 1e-12);
+}
+
+TEST(MmcQueue, TandemUnstableStationIsInfinite) {
+  const pf::MmcParameters stations[] = {{2.0, 5.0, 1}, {2.0, 1.0, 1}};
+  EXPECT_TRUE(std::isinf(pf::tandem_response_time(stations, 2)));
+  EXPECT_THROW((void)pf::tandem_response_time(nullptr, 0), std::invalid_argument);
+}
+
+// ---------- performability -------------------------------------------------------
+
+namespace {
+
+std::map<ent::ServerRole, av::AggregatedRates> paper_rates() {
+  std::map<ent::ServerRole, av::AggregatedRates> rates;
+  for (const auto& [role, spec] : ent::paper_server_specs()) {
+    rates.emplace(role, av::aggregate_server(spec));
+  }
+  return rates;
+}
+
+pf::Workload paper_workload() {
+  pf::Workload w;
+  w.arrival_rate = 36000.0;  // 10 req/s
+  w.service_rate = {{ent::ServerRole::kDns, 360000.0},
+                    {ent::ServerRole::kWeb, 72000.0},
+                    {ent::ServerRole::kApp, 54000.0},
+                    {ent::ServerRole::kDb, 90000.0}};
+  return w;
+}
+
+}  // namespace
+
+TEST(Performability, ResponseTimeDominatedByNominalConfiguration) {
+  const auto rates = paper_rates();
+  const pf::PerformabilityResult r = pf::evaluate_performability(
+      ent::example_network_design(), rates, paper_workload());
+  // Nominal tandem: all servers up.
+  const pf::MmcParameters nominal[] = {{36000.0, 360000.0, 1},
+                                       {36000.0, 72000.0, 2},
+                                       {36000.0, 54000.0, 2},
+                                       {36000.0, 90000.0, 1}};
+  const double nominal_response = pf::tandem_response_time(nominal, 4);
+  // Patch states are rare: the expectation sits near (and slightly above)
+  // the nominal response time.
+  EXPECT_GT(r.mean_response_time, nominal_response);
+  EXPECT_LT(r.mean_response_time, nominal_response * 1.05);
+  EXPECT_GT(r.service_probability, 0.99);
+  EXPECT_NEAR(r.service_probability + r.outage_probability, 1.0, 1e-9);
+}
+
+TEST(Performability, RedundancyCutsDegradedResponse) {
+  const auto rates = paper_rates();
+  pf::Workload heavy = paper_workload();
+  // Load the app tier so losing one of two servers hurts visibly.
+  heavy.service_rate[ent::ServerRole::kApp] = 30000.0;
+
+  const pf::PerformabilityResult two_apps = pf::evaluate_performability(
+      ent::RedundancyDesign{{1, 1, 2, 1}}, rates, heavy);
+  const pf::PerformabilityResult three_apps = pf::evaluate_performability(
+      ent::RedundancyDesign{{1, 1, 3, 1}}, rates, heavy);
+  // More app servers: lower expected response time AND higher service prob.
+  EXPECT_LT(three_apps.mean_response_time, two_apps.mean_response_time);
+  EXPECT_GE(three_apps.service_probability, two_apps.service_probability);
+}
+
+TEST(Performability, SaturationCountsAsOutage) {
+  const auto rates = paper_rates();
+  pf::Workload w = paper_workload();
+  // One app server cannot carry the load: when the tier drops to one (during
+  // a patch), the queue saturates.
+  w.service_rate[ent::ServerRole::kApp] = 30000.0;  // one server: rho > 1
+  const pf::PerformabilityResult r =
+      pf::evaluate_performability(ent::RedundancyDesign{{1, 1, 1, 1}}, rates, w);
+  EXPECT_GT(r.outage_probability, 0.0);
+}
+
+TEST(Performability, Validation) {
+  const auto rates = paper_rates();
+  pf::Workload w = paper_workload();
+  w.arrival_rate = 0.0;
+  EXPECT_THROW(
+      (void)pf::evaluate_performability(ent::example_network_design(), rates, w),
+      std::invalid_argument);
+  w = paper_workload();
+  w.service_rate.erase(ent::ServerRole::kDb);
+  EXPECT_THROW(
+      (void)pf::evaluate_performability(ent::example_network_design(), rates, w),
+      std::invalid_argument);
+  EXPECT_THROW((void)pf::evaluate_performability(ent::RedundancyDesign{{0, 0, 0, 0}}, rates,
+                                                 paper_workload()),
+               std::invalid_argument);
+}

@@ -1,0 +1,9 @@
+// Build/link smoke test across all modules.
+#include <gtest/gtest.h>
+
+#include "patchsec/core/evaluation.hpp"
+
+TEST(Smoke, PaperCaseStudyConstructs) {
+  const auto evaluator = patchsec::core::Evaluator::paper_case_study();
+  EXPECT_EQ(evaluator.aggregated_rates().size(), 4u);
+}
