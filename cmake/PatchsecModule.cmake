@@ -1,0 +1,24 @@
+# patchsec_add_module(<name> SOURCES <src...> [DEPS <patchsec::dep...>])
+#
+# Declares the static library `patchsec_<name>` with alias `patchsec::<name>`,
+# a public include dir at <module>/include, and the shared warning flags.
+function(patchsec_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "patchsec_add_module(${name}): no SOURCES given")
+  endif()
+
+  set(target patchsec_${name})
+  add_library(${target} STATIC ${ARG_SOURCES})
+  add_library(patchsec::${name} ALIAS ${target})
+
+  target_include_directories(${target} PUBLIC
+    $<BUILD_INTERFACE:${CMAKE_CURRENT_SOURCE_DIR}/include>)
+  target_compile_features(${target} PUBLIC cxx_std_20)
+  target_link_libraries(${target}
+    PUBLIC ${ARG_DEPS}
+    PRIVATE patchsec_warnings patchsec_werror)
+  set_target_properties(${target} PROPERTIES
+    EXPORT_NAME ${name}
+    POSITION_INDEPENDENT_CODE ON)
+endfunction()

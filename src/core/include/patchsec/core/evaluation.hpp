@@ -1,7 +1,12 @@
 #pragma once
-// The paper's contribution: the three-phase pipeline of Fig. 1 (inputs ->
-// model construction -> evaluation) run over redundancy designs, producing
-// the joint security/availability picture of Sec. IV.
+/// \file evaluation.hpp
+/// \brief The paper's contribution: the three-phase pipeline of Fig. 1
+/// (inputs -> model construction -> evaluation) run over redundancy designs,
+/// producing the joint security/availability picture of Sec. IV.
+///
+/// This is the primary user-facing entry point of the library: construct an
+/// Evaluator (or use Evaluator::paper_case_study()) and feed it
+/// enterprise::RedundancyDesign candidates.
 
 #include <map>
 #include <vector>
@@ -13,7 +18,7 @@
 
 namespace patchsec::core {
 
-/// Joint result for one redundancy design.
+/// \brief Joint security/availability result for one redundancy design.
 struct DesignEvaluation {
   enterprise::RedundancyDesign design;
   harm::SecurityMetrics before_patch;  ///< HARM metrics with all vulnerabilities.
@@ -22,23 +27,38 @@ struct DesignEvaluation {
                                        ///< monthly patch schedule (Table VI measure).
 };
 
-/// Evaluates designs over fixed server specs and topology.  Lower-layer SRN
-/// aggregation is computed once per role and shared across designs.
+/// \brief Evaluates redundancy designs over fixed server specs and topology.
+///
+/// Construction runs the expensive lower-layer work once: for every server
+/// role the server SRN (paper Fig. 5) is built, lowered to a CTMC, solved for
+/// its steady state and aggregated into equivalent patch/recovery rates
+/// (paper Table V).  Each evaluate() call then only pays for the per-design
+/// upper layer: HARM security metrics plus the network-SRN COA.
 class Evaluator {
  public:
-  /// `patch_interval_hours` = 1/tau_p (720 = the paper's monthly schedule).
+  /// \brief Build an evaluator for a concrete deployment.
+  /// \param specs   Per-role server specification (software stack,
+  ///                vulnerabilities, failure/patch behaviour).
+  /// \param policy  Topology/firewall reachability policy used to construct
+  ///                the attack graph.
+  /// \param patch_interval_hours  Mean time between patch rounds, 1/tau_p
+  ///                (720 = the paper's monthly schedule).
   Evaluator(std::map<enterprise::ServerRole, enterprise::ServerSpec> specs,
             enterprise::ReachabilityPolicy policy, double patch_interval_hours = 720.0);
 
-  /// Convenience: the paper's case-study inputs.
+  /// \brief Convenience factory: the paper's case-study inputs (Tables I/IV).
   [[nodiscard]] static Evaluator paper_case_study(double patch_interval_hours = 720.0);
 
+  /// \brief Evaluate one design: HARM metrics before/after the critical patch
+  /// plus capacity-oriented availability under the patch schedule.
   [[nodiscard]] DesignEvaluation evaluate(const enterprise::RedundancyDesign& design) const;
 
+  /// \brief Evaluate a design space, e.g. the paper's five candidates
+  /// (enterprise::paper_designs()) or an enumerated sweep.
   [[nodiscard]] std::vector<DesignEvaluation> evaluate_all(
       const std::vector<enterprise::RedundancyDesign>& designs) const;
 
-  /// Per-role aggregated rates (Table V rows).
+  /// \brief Per-role aggregated patch/recovery rates (Table V rows).
   [[nodiscard]] const std::map<enterprise::ServerRole, avail::AggregatedRates>& aggregated_rates()
       const noexcept {
     return rates_;

@@ -87,7 +87,9 @@ TEST_P(ServerSrnInvariants, ReachableMarkingsAreOneSafeAndConsistent) {
     EXPECT_EQ(m[srn.clock_idle] + m[srn.clock_armed] + m[srn.clock_triggered], 1u);
 
     // Paper assumption: no hardware failure during the patch window.
-    if (srn.in_patch_window(m)) EXPECT_EQ(m[srn.hw_down], 0u) << pt::to_string(m);
+    if (srn.in_patch_window(m)) {
+      EXPECT_EQ(m[srn.hw_down], 0u) << pt::to_string(m);
+    }
     // OS patches strictly after the service patch: while the OS is being
     // patched the service sits in its patched state (or later reboot state).
     if (m[srn.os_ready_to_patch] == 1 || m[srn.os_patched] == 1) {

@@ -23,7 +23,9 @@ TEST(Campaign, SeverityBandsPartitionTheDatabase) {
   const auto stages = core::severity_banded_campaign();
   ASSERT_EQ(stages.size(), 3u);
   // Every vulnerability in the paper database lands in exactly one band.
-  for (const auto& v : patchsec::nvd::make_paper_database().all()) {
+  // (Keep the database alive for the loop: all() returns a reference into it.)
+  const auto db = patchsec::nvd::make_paper_database();
+  for (const auto& v : db.all()) {
     int hits = 0;
     for (const auto& s : stages) {
       if (s.patched(v)) ++hits;

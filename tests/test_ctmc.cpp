@@ -67,7 +67,7 @@ TEST(Ctmc, ExpectedRewardIsAvailability) {
 
 TEST(Ctmc, RewardSizeMismatchThrows) {
   const ct::Ctmc c = up_down(1.0, 1.0);
-  EXPECT_THROW(c.expected_steady_state_reward({1.0}), std::invalid_argument);
+  EXPECT_THROW((void)c.expected_steady_state_reward({1.0}), std::invalid_argument);
 }
 
 TEST(Ctmc, ExitRate) {
@@ -161,7 +161,7 @@ TEST(Transient, AccumulatedRewardIntervalAvailability) {
 
 TEST(Transient, AccumulatedRewardZeroSteps) {
   const ct::Ctmc c = up_down(1.0, 1.0);
-  EXPECT_THROW(ct::accumulated_reward(c, {1.0, 0.0}, {1.0, 0.0}, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW((void)ct::accumulated_reward(c, {1.0, 0.0}, {1.0, 0.0}, 1.0, 0), std::invalid_argument);
 }
 
 // ---------- absorbing --------------------------------------------------------
@@ -225,5 +225,5 @@ TEST(Absorbing, MeanFirstPassageBranching) {
 
 TEST(Absorbing, EmptyTargetsThrow) {
   const ct::Ctmc c = up_down(1.0, 1.0);
-  EXPECT_THROW(ct::mean_first_passage_time(c, 0, {}), std::invalid_argument);
+  EXPECT_THROW((void)ct::mean_first_passage_time(c, 0, {}), std::invalid_argument);
 }

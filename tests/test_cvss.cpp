@@ -27,12 +27,12 @@ TEST(CvssParse, AllComponentValues) {
 }
 
 TEST(CvssParse, MalformedInputsThrow) {
-  EXPECT_THROW(cv::CvssV2Vector::parse(""), std::invalid_argument);
-  EXPECT_THROW(cv::CvssV2Vector::parse("AV:N"), std::invalid_argument);
-  EXPECT_THROW(cv::CvssV2Vector::parse("AV:N/AC:L/Au:N/C:C/I:C"), std::invalid_argument);
-  EXPECT_THROW(cv::CvssV2Vector::parse("AV:X/AC:L/Au:N/C:C/I:C/A:C"), std::invalid_argument);
-  EXPECT_THROW(cv::CvssV2Vector::parse("AV:N/AC:L/Au:N/C:C/I:C/Q:C"), std::invalid_argument);
-  EXPECT_THROW(cv::CvssV2Vector::parse("AVN/AC:L/Au:N/C:C/I:C/A:C"), std::invalid_argument);
+  EXPECT_THROW((void)cv::CvssV2Vector::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)cv::CvssV2Vector::parse("AV:N"), std::invalid_argument);
+  EXPECT_THROW((void)cv::CvssV2Vector::parse("AV:N/AC:L/Au:N/C:C/I:C"), std::invalid_argument);
+  EXPECT_THROW((void)cv::CvssV2Vector::parse("AV:X/AC:L/Au:N/C:C/I:C/A:C"), std::invalid_argument);
+  EXPECT_THROW((void)cv::CvssV2Vector::parse("AV:N/AC:L/Au:N/C:C/I:C/Q:C"), std::invalid_argument);
+  EXPECT_THROW((void)cv::CvssV2Vector::parse("AVN/AC:L/Au:N/C:C/I:C/A:C"), std::invalid_argument);
 }
 
 // Known-score cases: (vector, impact, exploitability, base).  These include
@@ -127,7 +127,9 @@ TEST(CvssScores, ExhaustiveEnumerationInvariants) {
               EXPECT_NEAR(impact_s * 10.0, std::round(impact_s * 10.0), 1e-9);
               EXPECT_NEAR(exploit_s * 10.0, std::round(exploit_s * 10.0), 1e-9);
               EXPECT_NEAR(base_s * 10.0, std::round(base_s * 10.0), 1e-9);
-              if (impact_s == 0.0) EXPECT_DOUBLE_EQ(base_s, 0.0);
+              if (impact_s == 0.0) {
+                EXPECT_DOUBLE_EQ(base_s, 0.0);
+              }
               // Round trip through text.
               EXPECT_EQ(cv::CvssV2Vector::parse(v.to_string()), v);
               ++checked;
@@ -142,8 +144,8 @@ TEST(CvssSeverity, BandsAndCriticality) {
   EXPECT_EQ(cv::severity_band(6.9), cv::Severity::kMedium);
   EXPECT_EQ(cv::severity_band(7.0), cv::Severity::kHigh);
   EXPECT_EQ(cv::severity_band(10.0), cv::Severity::kHigh);
-  EXPECT_THROW(cv::severity_band(-0.1), std::invalid_argument);
-  EXPECT_THROW(cv::severity_band(10.1), std::invalid_argument);
+  EXPECT_THROW((void)cv::severity_band(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)cv::severity_band(10.1), std::invalid_argument);
 
   // The paper's rule is strict: critical means base > 8.0.
   EXPECT_FALSE(cv::is_critical(8.0));

@@ -24,11 +24,11 @@ TEST(CvssV3Parse, AcceptsBareAnd30Prefix) {
 }
 
 TEST(CvssV3Parse, MalformedInputsThrow) {
-  EXPECT_THROW(cv::CvssV3Vector::parse(""), std::invalid_argument);
-  EXPECT_THROW(cv::CvssV3Vector::parse("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H"), std::invalid_argument);
-  EXPECT_THROW(cv::CvssV3Vector::parse("AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"),
+  EXPECT_THROW((void)cv::CvssV3Vector::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)cv::CvssV3Vector::parse("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H"), std::invalid_argument);
+  EXPECT_THROW((void)cv::CvssV3Vector::parse("AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"),
                std::invalid_argument);
-  EXPECT_THROW(cv::CvssV3Vector::parse("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/Q:H"),
+  EXPECT_THROW((void)cv::CvssV3Vector::parse("AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/Q:H"),
                std::invalid_argument);
 }
 
@@ -84,8 +84,8 @@ TEST(CvssV3Severity, Bands) {
   EXPECT_EQ(cv::severity_band_v3(8.9), cv::SeverityV3::kHigh);
   EXPECT_EQ(cv::severity_band_v3(9.0), cv::SeverityV3::kCritical);
   EXPECT_EQ(cv::severity_band_v3(10.0), cv::SeverityV3::kCritical);
-  EXPECT_THROW(cv::severity_band_v3(-0.1), std::invalid_argument);
-  EXPECT_THROW(cv::severity_band_v3(10.1), std::invalid_argument);
+  EXPECT_THROW((void)cv::severity_band_v3(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)cv::severity_band_v3(10.1), std::invalid_argument);
 }
 
 TEST(CvssV3Scores, ExhaustiveEnumerationInvariants) {

@@ -19,7 +19,7 @@ TEST(Database, AddAndFind) {
   EXPECT_TRUE(db.contains("CVE-0000-0001"));
   EXPECT_FALSE(db.contains("CVE-0000-0002"));
   EXPECT_EQ(db.find("CVE-0000-0001").product, "widget");
-  EXPECT_THROW(db.find("CVE-9999-9999"), std::out_of_range);
+  EXPECT_THROW((void)db.find("CVE-9999-9999"), std::out_of_range);
 }
 
 TEST(Database, RejectsEmptyIdAndDuplicates) {
