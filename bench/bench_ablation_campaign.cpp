@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "patchsec/core/campaign.hpp"
-#include "patchsec/core/evaluation.hpp"
+#include "patchsec/core/session.hpp"
 
 namespace {
 
@@ -20,7 +20,7 @@ void print_campaign() {
   const auto design = ent::example_network_design();
 
   // Baseline: the unpatched network.
-  const core::DesignEvaluation base = core::Evaluator::paper_case_study().evaluate(design);
+  const core::EvalReport base = core::Session(core::Scenario::paper_case_study()).evaluate(design);
   std::printf("=== Severity-banded 3-month campaign, example network ===\n");
   std::printf("%-34s %6s %8s %6s %6s %8s %10s\n", "stage", "AIM", "ASP", "NoEV", "NoAP",
               "#patched", "COA(month)");

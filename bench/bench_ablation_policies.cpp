@@ -58,7 +58,7 @@ void print_policies() {
               av::heterogeneous_coa(mixed));
 
   std::printf("=== (c) Cheapest design under different cost regimes ===\n");
-  const auto evals = core::Evaluator::paper_case_study().evaluate_all(ent::paper_designs());
+  const auto evals = core::Session(core::Scenario::paper_case_study()).evaluate_all();
   struct Regime {
     const char* name;
     core::CostModel model;
@@ -107,7 +107,7 @@ void BM_HeterogeneousCoa(benchmark::State& state) {
 BENCHMARK(BM_HeterogeneousCoa);
 
 void BM_CheapestDesign(benchmark::State& state) {
-  const auto evals = core::Evaluator::paper_case_study().evaluate_all(ent::paper_designs());
+  const auto evals = core::Session(core::Scenario::paper_case_study()).evaluate_all();
   const core::CostModel model;
   for (auto _ : state) benchmark::DoNotOptimize(core::cheapest_design(evals, model));
 }

@@ -8,7 +8,7 @@
 
 #include "patchsec/avail/transient_coa.hpp"
 #include "patchsec/core/economics.hpp"
-#include "patchsec/core/evaluation.hpp"
+#include "patchsec/core/session.hpp"
 #include "patchsec/harm/extended_metrics.hpp"
 #include "patchsec/perf/performability.hpp"
 
@@ -19,8 +19,8 @@ namespace hm = patchsec::harm;
 namespace pf = patchsec::perf;
 
 int main() {
-  const core::Evaluator evaluator = core::Evaluator::paper_case_study();
-  const auto evals = evaluator.evaluate_all(ent::paper_designs());
+  const core::Session session(core::Scenario::paper_case_study());
+  const auto evals = session.evaluate_all();
 
   // Client load: 10 req/s; per-server capacities per tier (req/h).
   pf::Workload workload;
@@ -39,11 +39,11 @@ int main() {
 
   std::printf("%-30s %9s %12s %11s %12s\n", "design", "COA", "resp (ms)", "ASP after",
               "cost/year");
-  const core::DesignEvaluation* recommended = nullptr;
+  const core::EvalReport* recommended = nullptr;
   double best_cost = std::numeric_limits<double>::infinity();
   for (const auto& e : evals) {
     const pf::PerformabilityResult perf =
-        pf::evaluate_performability(e.design, evaluator.aggregated_rates(), workload);
+        pf::evaluate_performability(e.design, session.aggregated_rates(), workload);
     const double annual = core::annual_cost(e, costs).total();
     std::printf("%-30s %9.5f %12.3f %11.4f %12.0f\n", e.design.name().c_str(), e.coa,
                 perf.mean_response_time * 3.6e6, e.after_patch.attack_success_probability,
@@ -58,7 +58,7 @@ int main() {
 
   // Patch-day dip of the recommended design when one app server patches.
   const std::map<ent::ServerRole, unsigned> one_app{{ent::ServerRole::kApp, 1}};
-  const auto curve = av::transient_coa_curve(recommended->design, evaluator.aggregated_rates(),
+  const auto curve = av::transient_coa_curve(recommended->design, session.aggregated_rates(),
                                              one_app, {0.0, 0.5, 1.0, 2.0, 4.0});
   std::printf("Patch-day capacity (one app server in its window):\n");
   for (const auto& p : curve) std::printf("  t=%4.1f h  COA=%.4f\n", p.hours, p.coa);

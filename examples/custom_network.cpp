@@ -8,8 +8,8 @@
 #include <iostream>
 
 #include "patchsec/core/decision.hpp"
-#include "patchsec/core/evaluation.hpp"
 #include "patchsec/core/report.hpp"
+#include "patchsec/core/session.hpp"
 
 namespace core = patchsec::core;
 namespace cvss = patchsec::cvss;
@@ -102,14 +102,19 @@ int main() {
   policy.target_role = ent::ServerRole::kDb;
 
   // --- 3. evaluate designs (no DNS tier in this system) -------------------------
-  const core::Evaluator evaluator(std::move(specs), policy, /*patch_interval_hours=*/336.0);
-  std::vector<ent::RedundancyDesign> designs = {
-      ent::RedundancyDesign{{0, 1, 1, 1}}, ent::RedundancyDesign{{0, 2, 1, 1}},
-      ent::RedundancyDesign{{0, 1, 2, 1}}, ent::RedundancyDesign{{0, 1, 1, 2}},
-      ent::RedundancyDesign{{0, 2, 2, 1}}};
+  // The scenario is a plain value: specs + policy + cadence + design space.
+  const core::Scenario scenario =
+      core::Scenario()
+          .with_specs(std::move(specs))
+          .with_policy(policy)
+          .with_patch_interval(336.0)
+          .with_designs({ent::RedundancyDesign{{0, 1, 1, 1}}, ent::RedundancyDesign{{0, 2, 1, 1}},
+                         ent::RedundancyDesign{{0, 1, 2, 1}}, ent::RedundancyDesign{{0, 1, 1, 2}},
+                         ent::RedundancyDesign{{0, 2, 2, 1}}});
+  const core::Session session(scenario);
 
   std::printf("Custom two-tier API service, fortnightly patching:\n\n");
-  const auto evals = evaluator.evaluate_all(designs);
+  const auto evals = session.evaluate_all();
   core::write_table(std::cout, evals);
 
   const core::TwoMetricBounds bounds{.asp_upper = 0.30, .coa_lower = 0.9950};

@@ -1,18 +1,18 @@
 // Patch planner: given a redundancy design, compare patch cadences and
 // report the availability cost of each schedule together with the security
 // exposure window (how long critical vulnerabilities stay unpatched on
-// average).
+// average).  A single Session sweeps the whole schedule: the per-cadence
+// lower-layer aggregations are memoized inside it.
 //
 // Usage: patch_planner [dns web app db]   (default 1 2 2 1, the paper network)
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "patchsec/avail/aggregation.hpp"
 #include "patchsec/avail/network_srn.hpp"
-#include "patchsec/core/evaluation.hpp"
+#include "patchsec/core/session.hpp"
 
-namespace av = patchsec::avail;
+namespace core = patchsec::core;
 namespace ent = patchsec::enterprise;
 
 int main(int argc, char** argv) {
@@ -31,9 +31,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto specs = ent::paper_server_specs();
-  std::printf("Patch planning for design: %s\n\n", design.name().c_str());
-
   struct Cadence {
     const char* name;
     double hours;
@@ -42,27 +39,30 @@ int main(int argc, char** argv) {
                               {"fortnightly", 336.0}, {"monthly (paper)", 720.0},
                               {"bimonthly", 1440.0},  {"quarterly", 2160.0}};
 
+  // One session for the whole sweep: the per-cadence lower-layer
+  // aggregations are memoized inside it.
+  const core::Session session(core::Scenario::paper_case_study().with_designs({design}));
+  std::printf("Patch planning for design: %s\n\n", design.name().c_str());
+
   std::printf("%-18s %10s %12s %16s %18s\n", "cadence", "interval", "COA",
               "downtime h/year", "mean exposure (h)");
   for (const Cadence& c : cadences) {
-    std::map<ent::ServerRole, av::AggregatedRates> rates;
+    // Only the availability side changes with the cadence, so go straight to
+    // the COA from the session's memoized per-cadence aggregation (this
+    // planner never needs the HARM security metrics session.evaluate adds).
+    const auto& rates = session.aggregated_rates(c.hours);
+    const double coa = patchsec::avail::capacity_oriented_availability(design, rates);
     double per_server_downtime_year = 0.0;
-    unsigned servers = 0;
-    for (const auto& [role, spec] : specs) {
+    for (const auto& [role, r] : rates) {
       if (design.count(role) == 0) continue;
-      const av::AggregatedRates r = av::aggregate_server(spec, c.hours);
-      rates.emplace(role, r);
       const double cycles_per_year = 8760.0 / (c.hours + r.mttr_hours());
       per_server_downtime_year += cycles_per_year * r.mttr_hours() * design.count(role);
-      servers += design.count(role);
     }
-    const double coa = av::capacity_oriented_availability(design, rates);
     // A vulnerability disclosed uniformly at random inside a cycle waits on
     // average half the patch interval before removal.
     const double exposure = c.hours / 2.0;
     std::printf("%-18s %8.0f h %12.6f %16.2f %18.1f\n", c.name, c.hours, coa,
                 per_server_downtime_year, exposure);
-    (void)servers;
   }
 
   std::printf(

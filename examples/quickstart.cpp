@@ -5,35 +5,41 @@
 #include <iostream>
 
 #include "patchsec/core/decision.hpp"
-#include "patchsec/core/evaluation.hpp"
 #include "patchsec/core/report.hpp"
+#include "patchsec/core/session.hpp"
 
 int main() {
   using namespace patchsec;
 
-  // Phase 1+2 (Fig. 1): the paper's case-study inputs and models.
-  const core::Evaluator evaluator = core::Evaluator::paper_case_study();
+  // Phase 1 (Fig. 1): the paper's case-study inputs as a Scenario value —
+  // specs (Tables I/IV), the three-tier policy, the monthly schedule and the
+  // five Sec. IV candidate designs.
+  const core::Session session(core::Scenario::paper_case_study());
 
-  // Phase 3: evaluate the five redundancy designs of Sec. IV.
-  const std::vector<core::DesignEvaluation> evals =
-      evaluator.evaluate_all(enterprise::paper_designs());
+  // Phases 2+3: models are built and evaluated by the session.
+  const std::vector<core::EvalReport> evals = session.evaluate_all();
   core::write_table(std::cout, evals);
 
   // Table V: aggregated patch/recovery rates.
   std::cout << "\nAggregated rates (Table V):\n";
-  for (const auto& [role, rates] : evaluator.aggregated_rates()) {
+  for (const auto& [role, rates] : session.aggregated_rates()) {
     std::cout << "  " << enterprise::to_string(role) << ": lambda_eq=" << rates.lambda_eq
               << "/h mu_eq=" << rates.mu_eq << "/h MTTR=" << rates.mttr_hours() << "h\n";
   }
 
-  // The example network of Fig. 2 (1 DNS + 2 WEB + 2 APP + 1 DB).
-  const core::DesignEvaluation example = evaluator.evaluate(enterprise::example_network_design());
+  // The example network of Fig. 2 (1 DNS + 2 WEB + 2 APP + 1 DB), with the
+  // solver diagnostics every EvalReport carries.
+  const core::EvalReport example = session.evaluate(enterprise::example_network_design());
   std::cout << "\nExample network COA = " << example.coa << "  (paper: 0.99707)\n";
+  std::cout << "  solved " << example.availability_diagnostics.tangible_states
+            << " network states in " << example.availability_diagnostics.solver_iterations
+            << " iterations (residual " << example.availability_diagnostics.residual
+            << ", converged=" << (example.converged() ? "yes" : "no") << ")\n";
 
   // Eq. (3): which designs satisfy ASP <= 0.2 and COA >= 0.9962 after patch?
   const core::TwoMetricBounds region1{.asp_upper = 0.2, .coa_lower = 0.9962};
   std::cout << "\nDesigns satisfying region 1 (phi=0.2, psi=0.9962):\n";
-  for (const core::DesignEvaluation& e : core::filter_designs(evals, region1)) {
+  for (const core::EvalReport& e : core::filter_designs(evals, region1)) {
     std::cout << "  " << core::summary_line(e) << '\n';
   }
   return 0;

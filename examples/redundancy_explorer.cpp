@@ -11,8 +11,8 @@
 #include <vector>
 
 #include "patchsec/core/decision.hpp"
-#include "patchsec/core/evaluation.hpp"
 #include "patchsec/core/report.hpp"
+#include "patchsec/core/session.hpp"
 
 namespace core = patchsec::core;
 namespace ent = patchsec::enterprise;
@@ -21,7 +21,7 @@ namespace {
 
 /// A design dominates another when it is at least as good on both axes
 /// (lower after-patch ASP, higher COA) and strictly better on one.
-bool dominates(const core::DesignEvaluation& a, const core::DesignEvaluation& b) {
+bool dominates(const core::EvalReport& a, const core::EvalReport& b) {
   const double asp_a = a.after_patch.attack_success_probability;
   const double asp_b = b.after_patch.attack_success_probability;
   return asp_a <= asp_b && a.coa >= b.coa && (asp_a < asp_b || a.coa > b.coa);
@@ -38,8 +38,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const core::Evaluator evaluator = core::Evaluator::paper_case_study();
-
   std::vector<ent::RedundancyDesign> designs;
   for (unsigned dns = 1; dns <= max_per_tier; ++dns)
     for (unsigned web = 1; web <= max_per_tier; ++web)
@@ -47,9 +45,16 @@ int main(int argc, char** argv) {
         for (unsigned db = 1; db <= max_per_tier; ++db)
           designs.push_back(ent::RedundancyDesign{{dns, web, app, db}});
 
+  // Design sweeps are the batch case the engine options are made for: fan
+  // the upper-layer evaluations out over all cores.
+  core::EngineOptions engine;
+  engine.parallel = true;
+  const core::Session session(
+      core::Scenario::paper_case_study().with_designs(designs).with_engine(engine));
+
   std::printf("Evaluating %zu designs (1..%u servers per tier)...\n\n", designs.size(),
               max_per_tier);
-  const auto evals = evaluator.evaluate_all(designs);
+  const auto evals = session.evaluate_all();
   core::write_table(std::cout, evals);
 
   // Pareto frontier over (after-patch ASP down, COA up).

@@ -12,6 +12,7 @@
 
 #include "patchsec/avail/server_srn.hpp"
 #include "patchsec/enterprise/server.hpp"
+#include "patchsec/petri/reachability.hpp"
 
 namespace patchsec::avail {
 
@@ -38,6 +39,21 @@ struct AggregatedRates {
 /// patch in a cycle.
 [[nodiscard]] AggregatedRates aggregate_server(const enterprise::ServerSpec& spec,
                                                const ServerSrnOptions& options);
+
+/// Aggregation result carrying the lower-layer solve diagnostics (state
+/// counts, solver iterations, residual, converged flag, wall time).
+struct ServerAggregation {
+  AggregatedRates rates;
+  petri::SolveDiagnostics diagnostics;
+};
+
+/// Aggregate under explicit policy options AND an explicit solver
+/// configuration — the fully-threaded form used by core::Session.  With
+/// engine.throw_on_divergence == false a non-converged steady-state solve is
+/// reported through the returned diagnostics instead of thrown.
+[[nodiscard]] ServerAggregation aggregate_server_detailed(const enterprise::ServerSpec& spec,
+                                                          const ServerSrnOptions& options,
+                                                          const petri::AnalyzerOptions& engine);
 
 /// Closed-form approximation of mu_eq ignoring failures (the patch phases in
 /// sequence): 1 / (1/alpha_svc + 1/alpha_os + 1/beta_os + 1/beta_svc).

@@ -50,6 +50,21 @@ struct NetworkSrn {
     const enterprise::RedundancyDesign& design,
     const std::map<enterprise::ServerRole, AggregatedRates>& rates);
 
+/// COA plus the upper-layer solve diagnostics.
+struct CoaEvaluation {
+  double coa = 0.0;
+  petri::SolveDiagnostics diagnostics;
+};
+
+/// COA under an explicit solver configuration — the fully-threaded form used
+/// by core::Session.  With engine.throw_on_divergence == false a
+/// non-converged steady-state solve is reported through the returned
+/// diagnostics instead of thrown.
+[[nodiscard]] CoaEvaluation capacity_oriented_availability_detailed(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates,
+    const petri::AnalyzerOptions& engine);
+
 /// Closed-form cross-check using independent birth-death chains per tier
 /// (valid because tiers are independent in the upper model).
 [[nodiscard]] double coa_closed_form(const enterprise::RedundancyDesign& design,

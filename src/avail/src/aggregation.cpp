@@ -15,9 +15,15 @@ AggregatedRates aggregate_server(const enterprise::ServerSpec& spec,
 
 AggregatedRates aggregate_server(const enterprise::ServerSpec& spec,
                                  const ServerSrnOptions& options) {
+  return aggregate_server_detailed(spec, options, petri::AnalyzerOptions{}).rates;
+}
+
+ServerAggregation aggregate_server_detailed(const enterprise::ServerSpec& spec,
+                                            const ServerSrnOptions& options,
+                                            const petri::AnalyzerOptions& engine) {
   const double patch_interval_hours = options.patch_interval_hours;
   const ServerSrn srn = build_server_srn(spec, options);
-  const petri::SrnAnalyzer analyzer(srn.model);
+  const petri::SrnAnalyzer analyzer(srn.model, engine);
 
   AggregatedRates rates;
   rates.p_patch_down =
@@ -38,7 +44,7 @@ AggregatedRates aggregate_server(const enterprise::ServerSpec& spec,
     // mu = lambda * (1 - p_pd) / p_pd.
     rates.mu_eq = rates.lambda_eq * (1.0 - rates.p_patch_down) / rates.p_patch_down;
   }
-  return rates;
+  return ServerAggregation{rates, analyzer.diagnostics()};
 }
 
 double mu_eq_closed_form(const enterprise::ServerSpec& spec) {

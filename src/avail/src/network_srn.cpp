@@ -104,9 +104,16 @@ double capacity_oriented_availability(
 double capacity_oriented_availability(
     const enterprise::RedundancyDesign& design,
     const std::map<enterprise::ServerRole, AggregatedRates>& rates) {
+  return capacity_oriented_availability_detailed(design, rates, petri::AnalyzerOptions{}).coa;
+}
+
+CoaEvaluation capacity_oriented_availability_detailed(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates,
+    const petri::AnalyzerOptions& engine) {
   const NetworkSrn net = build_network_srn(design, rates);
-  const petri::SrnAnalyzer analyzer(net.model);
-  return analyzer.expected_reward(net.coa_reward());
+  const petri::SrnAnalyzer analyzer(net.model, engine);
+  return CoaEvaluation{analyzer.expected_reward(net.coa_reward()), analyzer.diagnostics()};
 }
 
 NetworkSrn build_network_srn_synchronized(

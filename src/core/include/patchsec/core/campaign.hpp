@@ -1,34 +1,36 @@
 #pragma once
-// Multi-stage patch campaigns (paper Sec. V: "more complex cases (e.g.,
-// monthly patch of 3 months) will be considered in our future work").  A
-// campaign splits the vulnerability population into ordered stages — e.g.
-// month 1 patches critical, month 2 high-severity, month 3 the rest — and
-// tracks both sides of the trade-off as the stages land:
-//   * security: HARM metrics after the cumulative patch of stages 1..k;
-//   * availability: COA of the month in which stage k is applied (its patch
-//     durations come from the vulnerabilities patched that month).
+/// \file campaign.hpp
+/// \brief Multi-stage patch campaigns (paper Sec. V: "more complex cases
+/// (e.g., monthly patch of 3 months) will be considered in our future
+/// work").  A campaign splits the vulnerability population into ordered
+/// stages — e.g. month 1 patches critical, month 2 high-severity, month 3
+/// the rest — and tracks both sides of the trade-off as the stages land:
+///   * security: HARM metrics after the cumulative patch of stages 1..k;
+///   * availability: COA of the month in which stage k is applied (its patch
+///     durations come from the vulnerabilities patched that month).
 
 #include <functional>
 #include <string>
 #include <vector>
 
-#include "patchsec/core/evaluation.hpp"
+#include "patchsec/core/session.hpp"
 
 namespace patchsec::core {
 
-/// One campaign stage: the set of vulnerabilities patched in this round.
+/// \brief One campaign stage: the set of vulnerabilities patched in this
+/// round.
 struct CampaignStage {
   std::string name;
   std::function<bool(const nvd::Vulnerability&)> patched;
 };
 
-/// The classic severity-banded 3-month campaign:
+/// \brief The classic severity-banded 3-month campaign:
 ///   month 1: critical (base > 8.0, the paper's monthly patch)
 ///   month 2: high (7.0 <= base <= 8.0)
 ///   month 3: medium and below (base < 7.0)
 [[nodiscard]] std::vector<CampaignStage> severity_banded_campaign();
 
-/// Metrics after one stage has been applied (cumulatively).
+/// \brief Metrics after one stage has been applied (cumulatively).
 struct CampaignStageResult {
   std::string stage;
   /// HARM metrics with stages 1..k patched.
@@ -40,16 +42,28 @@ struct CampaignStageResult {
   std::size_t vulnerabilities_patched = 0;
 };
 
-/// Evaluate a campaign over a design using the paper's per-vulnerability
-/// patch durations.  Stage k's availability month uses only stage k's patch
-/// work; stages with no work on a server tier fall back to a near-zero patch
-/// (the clock still fires).  Results are in stage order; the entry at index
-/// -1 conceptually (not returned) is the unpatched network — callers can get
-/// it from Evaluator::evaluate.
+/// \brief Evaluate a campaign over a design using the paper's
+/// per-vulnerability patch durations.  Stage k's availability month uses only
+/// stage k's patch work; stages with no work on a server tier fall back to a
+/// near-zero patch (the clock still fires).  Results are in stage order; the
+/// entry at index -1 conceptually (not returned) is the unpatched network —
+/// callers can get it from Session::evaluate.
+/// \throws std::invalid_argument on an empty stage list or a null stage
+///         predicate.
 [[nodiscard]] std::vector<CampaignStageResult> evaluate_campaign(
     const enterprise::RedundancyDesign& design,
     const std::map<enterprise::ServerRole, enterprise::ServerSpec>& specs,
     const enterprise::ReachabilityPolicy& policy, const std::vector<CampaignStage>& stages,
     double patch_interval_hours = 720.0);
+
+/// \brief Session form: specs, policy and patch cadence come from the
+/// session's scenario (first cadence of the schedule) and every SRN solve
+/// runs under the session's EngineOptions — except that a badly diverged
+/// solve (petri::SolveDiagnostics::badly_diverged) throws
+/// std::runtime_error regardless of EngineOptions::throw_on_divergence,
+/// since stage results carry no diagnostics to surface it through.
+[[nodiscard]] std::vector<CampaignStageResult> evaluate_campaign(
+    const Session& session, const enterprise::RedundancyDesign& design,
+    const std::vector<CampaignStage>& stages);
 
 }  // namespace patchsec::core

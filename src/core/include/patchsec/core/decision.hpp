@@ -1,23 +1,29 @@
 #pragma once
-// Decision functions of Sec. IV: compare after-patch metric values against
-// administrator-chosen bounds and keep the designs satisfying all of them.
+/// \file decision.hpp
+/// \brief Decision functions of Sec. IV: compare after-patch metric values
+/// against administrator-chosen bounds and keep the designs satisfying all of
+/// them.  Overloads are provided for both the rich Session results
+/// (EvalReport) and the legacy DesignEvaluation payload.
 
+#include <cstdint>
 #include <vector>
 
-#include "patchsec/core/evaluation.hpp"
+#include "patchsec/core/session.hpp"
 
 namespace patchsec::core {
 
-/// Eq. (3): f(ASP, COA) = 1 iff ASP <= phi and COA >= psi.
+/// \brief Eq. (3): f(ASP, COA) = 1 iff ASP <= phi and COA >= psi.
 struct TwoMetricBounds {
   double asp_upper = 1.0;  ///< phi
   double coa_lower = 0.0;  ///< psi
 };
 
 [[nodiscard]] bool satisfies(const DesignEvaluation& eval, const TwoMetricBounds& bounds);
+[[nodiscard]] bool satisfies(const EvalReport& report, const TwoMetricBounds& bounds);
 
-/// Eq. (4): additionally bounds NoEV (xi), NoAP (omega) and NoEP (kappa).
-/// AIM carries no bound: the paper observes it is identical across designs.
+/// \brief Eq. (4): additionally bounds NoEV (xi), NoAP (omega) and NoEP
+/// (kappa).  AIM carries no bound: the paper observes it is identical across
+/// designs.
 struct MultiMetricBounds {
   double asp_upper = 1.0;            ///< phi
   std::size_t noev_upper = SIZE_MAX; ///< xi
@@ -27,11 +33,16 @@ struct MultiMetricBounds {
 };
 
 [[nodiscard]] bool satisfies(const DesignEvaluation& eval, const MultiMetricBounds& bounds);
+[[nodiscard]] bool satisfies(const EvalReport& report, const MultiMetricBounds& bounds);
 
-/// Filter helpers returning the satisfying designs in input order.
+/// \brief Filter helpers returning the satisfying designs in input order.
 [[nodiscard]] std::vector<DesignEvaluation> filter_designs(
     const std::vector<DesignEvaluation>& evals, const TwoMetricBounds& bounds);
 [[nodiscard]] std::vector<DesignEvaluation> filter_designs(
     const std::vector<DesignEvaluation>& evals, const MultiMetricBounds& bounds);
+[[nodiscard]] std::vector<EvalReport> filter_designs(const std::vector<EvalReport>& reports,
+                                                     const TwoMetricBounds& bounds);
+[[nodiscard]] std::vector<EvalReport> filter_designs(const std::vector<EvalReport>& reports,
+                                                     const MultiMetricBounds& bounds);
 
 }  // namespace patchsec::core

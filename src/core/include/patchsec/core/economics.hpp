@@ -1,16 +1,17 @@
 #pragma once
-// Economic metrics (paper Sec. V, "other metrics" extension): attach costs
-// to redundancy designs so the administrator can pick by money instead of by
-// raw metric bounds — gain of high availability vs cost of redundancy, loss
-// from successful attacks vs cost of patching.
+/// \file economics.hpp
+/// \brief Economic metrics (paper Sec. V, "other metrics" extension): attach
+/// costs to redundancy designs so the administrator can pick by money instead
+/// of by raw metric bounds — gain of high availability vs cost of redundancy,
+/// loss from successful attacks vs cost of patching.
 
 #include <vector>
 
-#include "patchsec/core/evaluation.hpp"
+#include "patchsec/core/session.hpp"
 
 namespace patchsec::core {
 
-/// Cost parameters, all in the same currency unit.
+/// \brief Cost parameters, all in the same currency unit.
 struct CostModel {
   /// Owning one server for a year (hardware amortization + power + licences).
   double server_cost_per_year = 10'000.0;
@@ -26,7 +27,7 @@ struct CostModel {
   double patches_per_year = 12.0;
 };
 
-/// Cost breakdown of a design over one year.
+/// \brief Cost breakdown of a design over one year.
 struct CostBreakdown {
   double infrastructure = 0.0;  ///< servers.
   double downtime = 0.0;        ///< (1 - COA) * hours/year * cost/hour.
@@ -38,12 +39,17 @@ struct CostBreakdown {
   }
 };
 
-/// Annual cost of a design given its joint evaluation.
+/// \brief Annual cost of a design given its joint evaluation.
+/// \throws std::invalid_argument when annual_attack_probability is outside
+///         [0, 1].
 [[nodiscard]] CostBreakdown annual_cost(const DesignEvaluation& eval, const CostModel& model);
+[[nodiscard]] CostBreakdown annual_cost(const EvalReport& report, const CostModel& model);
 
-/// The evaluated design with the lowest total annual cost.  Throws
-/// std::invalid_argument on an empty candidate list.
+/// \brief The evaluated design with the lowest total annual cost.
+/// \throws std::invalid_argument on an empty candidate list.
 [[nodiscard]] const DesignEvaluation& cheapest_design(const std::vector<DesignEvaluation>& evals,
                                                       const CostModel& model);
+[[nodiscard]] const EvalReport& cheapest_design(const std::vector<EvalReport>& reports,
+                                                const CostModel& model);
 
 }  // namespace patchsec::core

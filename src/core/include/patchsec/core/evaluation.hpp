@@ -1,40 +1,34 @@
 #pragma once
 /// \file evaluation.hpp
-/// \brief The paper's contribution: the three-phase pipeline of Fig. 1
-/// (inputs -> model construction -> evaluation) run over redundancy designs,
-/// producing the joint security/availability picture of Sec. IV.
+/// \brief Backward-compatibility shim: the original Evaluator facade, now a
+/// thin deprecated wrapper over core::Scenario + core::Session.
 ///
-/// This is the primary user-facing entry point of the library: construct an
-/// Evaluator (or use Evaluator::paper_case_study()) and feed it
-/// enterprise::RedundancyDesign candidates.
+/// New code should build a Scenario (or Scenario::paper_case_study()) and
+/// evaluate it through a Session — see scenario.hpp / session.hpp and
+/// docs/MIGRATION.md.  Evaluator is kept for one release so downstream code
+/// keeps compiling; it produces bit-identical metric values (it delegates
+/// every computation to Session) but none of the new solver configuration or
+/// diagnostics.
 
 #include <map>
+#include <memory>
 #include <vector>
 
-#include "patchsec/avail/aggregation.hpp"
-#include "patchsec/avail/network_srn.hpp"
-#include "patchsec/enterprise/network.hpp"
-#include "patchsec/harm/harm.hpp"
+#include "patchsec/core/session.hpp"
 
 namespace patchsec::core {
 
-/// \brief Joint security/availability result for one redundancy design.
-struct DesignEvaluation {
-  enterprise::RedundancyDesign design;
-  harm::SecurityMetrics before_patch;  ///< HARM metrics with all vulnerabilities.
-  harm::SecurityMetrics after_patch;   ///< HARM metrics after the critical patch.
-  double coa = 0.0;                    ///< capacity-oriented availability under the
-                                       ///< monthly patch schedule (Table VI measure).
-};
-
-/// \brief Evaluates redundancy designs over fixed server specs and topology.
+/// \brief Deprecated facade: one patch interval, fixed solver configuration,
+/// bare-struct results.  Use core::Scenario + core::Session instead.
 ///
-/// Construction runs the expensive lower-layer work once: for every server
-/// role the server SRN (paper Fig. 5) is built, lowered to a CTMC, solved for
-/// its steady state and aggregated into equivalent patch/recovery rates
-/// (paper Table V).  Each evaluate() call then only pays for the per-design
-/// upper layer: HARM security metrics plus the network-SRN COA.
-class Evaluator {
+/// \deprecated Superseded by the Scenario/Session API (docs/MIGRATION.md):
+///   * `Evaluator(specs, policy, h)` -> `Session(Scenario().with_specs(specs)
+///     .with_policy(policy).with_patch_interval(h))`
+///   * `Evaluator::paper_case_study()` -> `Scenario::paper_case_study()`
+///   * `evaluate`/`evaluate_all` -> the Session equivalents, which return
+///     EvalReports carrying solver diagnostics (EvalReport::metrics() is the
+///     old DesignEvaluation payload).
+class [[deprecated("use core::Scenario + core::Session (see docs/MIGRATION.md)")]] Evaluator {
  public:
   /// \brief Build an evaluator for a concrete deployment.
   /// \param specs   Per-role server specification (software stack,
@@ -43,6 +37,10 @@ class Evaluator {
   ///                the attack graph.
   /// \param patch_interval_hours  Mean time between patch rounds, 1/tau_p
   ///                (720 = the paper's monthly schedule).
+  /// \note Construction now validates its inputs (Scenario::validate): an
+  ///       empty specs map or a null policy hook throws
+  ///       std::invalid_argument here, where the original deferred the
+  ///       failure to evaluate().
   Evaluator(std::map<enterprise::ServerRole, enterprise::ServerSpec> specs,
             enterprise::ReachabilityPolicy policy, double patch_interval_hours = 720.0);
 
@@ -60,22 +58,17 @@ class Evaluator {
 
   /// \brief Per-role aggregated patch/recovery rates (Table V rows).
   [[nodiscard]] const std::map<enterprise::ServerRole, avail::AggregatedRates>& aggregated_rates()
-      const noexcept {
-    return rates_;
-  }
+      const;
 
-  [[nodiscard]] const std::map<enterprise::ServerRole, enterprise::ServerSpec>& specs()
-      const noexcept {
-    return specs_;
-  }
+  [[nodiscard]] const std::map<enterprise::ServerRole, enterprise::ServerSpec>& specs() const;
 
-  [[nodiscard]] double patch_interval_hours() const noexcept { return patch_interval_hours_; }
+  [[nodiscard]] double patch_interval_hours() const;
 
  private:
-  std::map<enterprise::ServerRole, enterprise::ServerSpec> specs_;
-  enterprise::ReachabilityPolicy policy_;
-  double patch_interval_hours_;
-  std::map<enterprise::ServerRole, avail::AggregatedRates> rates_;
+  // Shared so the shim stays copyable like the original Evaluator (Session
+  // itself is non-copyable: it owns a mutex-guarded cache).  Copies share
+  // the memoized aggregations; Session is thread-safe and logically const.
+  std::shared_ptr<const Session> session_;
 };
 
 }  // namespace patchsec::core

@@ -1,19 +1,21 @@
 #pragma once
-// Sensitivity analysis: which model parameter moves COA the most?  Finite-
-// difference elasticities of the capacity-oriented availability with respect
-// to the per-tier aggregated rates and the patch interval.  Elasticity
-// (dCOA/COA) / (dX/X) is unit-free, so tiers and the schedule compare
-// directly.
+/// \file sensitivity.hpp
+/// \brief Sensitivity analysis: which model parameter moves COA the most?
+/// Finite-difference elasticities of the capacity-oriented availability with
+/// respect to the per-tier aggregated rates.  Elasticity (dCOA/COA) / (dX/X)
+/// is unit-free, so tiers compare directly.
 
 #include <map>
 #include <string>
 #include <vector>
 
 #include "patchsec/avail/network_srn.hpp"
+#include "patchsec/core/session.hpp"
 #include "patchsec/enterprise/design.hpp"
 
 namespace patchsec::core {
 
+/// \brief One parameter's finite-difference sensitivity of COA.
 struct SensitivityEntry {
   std::string parameter;   ///< e.g. "mu_eq(APP)", "lambda_eq(WEB)".
   double base_value = 0.0;
@@ -21,12 +23,23 @@ struct SensitivityEntry {
   double elasticity = 0.0;  ///< (dCOA/COA) / (dX/X) at the base point.
 };
 
-/// Elasticities of COA with respect to every deployed tier's mu_eq and
+/// \brief Elasticities of COA with respect to every deployed tier's mu_eq and
 /// lambda_eq.  `relative_step` is the finite-difference step as a fraction
 /// of the base value.  Sorted by |elasticity| descending.
+/// \throws std::invalid_argument when relative_step is outside (0, 1).
 [[nodiscard]] std::vector<SensitivityEntry> coa_sensitivity(
     const enterprise::RedundancyDesign& design,
     const std::map<enterprise::ServerRole, avail::AggregatedRates>& rates,
+    double relative_step = 0.01);
+
+/// \brief Session form: rates come from the session's memoized aggregation at
+/// its first patch cadence (vetted against
+/// petri::SolveDiagnostics::badly_diverged), and every COA solve runs under
+/// the session's EngineOptions — except that a badly diverged solve throws
+/// std::runtime_error regardless of EngineOptions::throw_on_divergence,
+/// since elasticities carry no diagnostics to surface it through.
+[[nodiscard]] std::vector<SensitivityEntry> coa_sensitivity(
+    const Session& session, const enterprise::RedundancyDesign& design,
     double relative_step = 0.01);
 
 }  // namespace patchsec::core

@@ -1,0 +1,147 @@
+#pragma once
+/// \file session.hpp
+/// \brief The evaluation engine of the facade: a Session binds a Scenario to
+/// memoized lower-layer solver state and turns designs into EvalReports —
+/// the paper's joint security/availability numbers *plus* per-stage solver
+/// diagnostics (state counts, iterations, residuals, converged flags, wall
+/// time).
+///
+/// Construction is cheap; the expensive per-(role, patch-interval) server-SRN
+/// aggregations (paper Table V) are computed lazily on first use and cached,
+/// so sweeping a design space or a patch schedule pays the lower layer once.
+/// The cadence-independent HARM security metrics are likewise memoized per
+/// design, so a schedule sweep pays the security side once per design.
+/// Batch evaluation can fan out over threads (EngineOptions::parallel).
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "patchsec/avail/aggregation.hpp"
+#include "patchsec/avail/network_srn.hpp"
+#include "patchsec/core/scenario.hpp"
+#include "patchsec/harm/harm.hpp"
+
+namespace patchsec::core {
+
+/// \brief Joint security/availability result for one redundancy design (the
+/// metric payload of the original Evaluator API; EvalReport carries one).
+struct DesignEvaluation {
+  enterprise::RedundancyDesign design;
+  harm::SecurityMetrics before_patch;  ///< HARM metrics with all vulnerabilities.
+  harm::SecurityMetrics after_patch;   ///< HARM metrics after the critical patch.
+  double coa = 0.0;                    ///< capacity-oriented availability under the
+                                       ///< patch schedule (Table VI measure).
+};
+
+/// \brief Rich evaluation result: the paper's metrics plus end-to-end solver
+/// diagnostics for every stage that ran a steady-state solve.
+struct EvalReport {
+  enterprise::RedundancyDesign design;
+  harm::SecurityMetrics before_patch;  ///< HARM metrics with all vulnerabilities.
+  harm::SecurityMetrics after_patch;   ///< HARM metrics after the critical patch.
+  double coa = 0.0;                    ///< capacity-oriented availability.
+  double patch_interval_hours = 720.0;  ///< cadence this report was evaluated at.
+
+  /// Lower-layer (server SRN, one per role with a spec) solve diagnostics.
+  /// Memoized across reports sharing a (role, patch interval); wall times are
+  /// those of the first computation.
+  std::map<enterprise::ServerRole, petri::SolveDiagnostics> aggregation_diagnostics;
+  /// Upper-layer (network SRN) solve diagnostics for this design.
+  petri::SolveDiagnostics availability_diagnostics;
+  /// Wall time of this evaluate() call (HARM + upper layer + any lower-layer
+  /// aggregation misses).
+  double wall_time_seconds = 0.0;
+
+  /// True iff every steady-state solve behind this report converged.
+  [[nodiscard]] bool converged() const noexcept;
+  /// Total solver iterations across all stages (lower + upper layer).
+  [[nodiscard]] std::size_t total_solver_iterations() const noexcept;
+  /// The metric payload alone, for APIs speaking the original Evaluator
+  /// vocabulary (decision bounds, economics, report emitters).
+  [[nodiscard]] DesignEvaluation metrics() const;
+};
+
+/// \brief Evaluates redundancy designs for one Scenario, owning the memoized
+/// per-(role, patch-interval) lower-layer aggregations.
+///
+/// Thread-safe: evaluate()/evaluate_all() are const and the aggregation cache
+/// is internally synchronized, so one Session may serve concurrent callers
+/// (and evaluate_all() itself fans out when the scenario's EngineOptions ask
+/// for parallel batches).
+class Session {
+ public:
+  /// Validates the scenario (Scenario::validate) and takes a copy of it.
+  explicit Session(Scenario scenario);
+
+  [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
+
+  /// Evaluate one design at the scenario's first patch cadence.
+  [[nodiscard]] EvalReport evaluate(const enterprise::RedundancyDesign& design) const;
+
+  /// Evaluate one design at an explicit patch cadence.
+  [[nodiscard]] EvalReport evaluate(const enterprise::RedundancyDesign& design,
+                                    double patch_interval_hours) const;
+
+  /// Evaluate the scenario's design space under its whole patch schedule:
+  /// reports are ordered schedule-major (every design at interval 0, then
+  /// every design at interval 1, ...).  Parallel when the engine asks for it.
+  [[nodiscard]] std::vector<EvalReport> evaluate_all() const;
+
+  /// Evaluate an explicit design list at the scenario's first patch cadence.
+  [[nodiscard]] std::vector<EvalReport> evaluate_all(
+      const std::vector<enterprise::RedundancyDesign>& designs) const;
+
+  /// Evaluate an explicit design list at an explicit cadence.
+  [[nodiscard]] std::vector<EvalReport> evaluate_all(
+      const std::vector<enterprise::RedundancyDesign>& designs,
+      double patch_interval_hours) const;
+
+  /// Per-role aggregated patch/recovery rates (Table V rows) at the
+  /// scenario's first cadence.  Computed on first use, then cached.
+  [[nodiscard]] const std::map<enterprise::ServerRole, avail::AggregatedRates>&
+  aggregated_rates() const;
+
+  /// Table V rows at an explicit cadence.
+  [[nodiscard]] const std::map<enterprise::ServerRole, avail::AggregatedRates>& aggregated_rates(
+      double patch_interval_hours) const;
+
+  /// Lower-layer solve diagnostics behind aggregated_rates(hours).
+  [[nodiscard]] const std::map<enterprise::ServerRole, petri::SolveDiagnostics>&
+  aggregation_diagnostics(double patch_interval_hours) const;
+
+ private:
+  struct IntervalAggregation {
+    std::map<enterprise::ServerRole, avail::AggregatedRates> rates;
+    std::map<enterprise::ServerRole, petri::SolveDiagnostics> diagnostics;
+  };
+  struct SecurityMetricsPair {
+    harm::SecurityMetrics before_patch;
+    harm::SecurityMetrics after_patch;
+  };
+
+  /// Memoized lower-layer aggregation for one cadence (thread-safe).
+  /// Throws std::invalid_argument unless patch_interval_hours > 0 (also
+  /// rejects NaN, which would alias arbitrary cache keys).
+  const IntervalAggregation& aggregation_for(double patch_interval_hours) const;
+
+  /// Memoized HARM security metrics for one design (thread-safe).  The HARM
+  /// side is cadence-independent, so a schedule sweep pays it once per
+  /// design instead of once per (design, cadence).
+  const SecurityMetricsPair& security_for(const enterprise::RedundancyDesign& design) const;
+
+  /// Run a batch of (design, cadence) jobs in job order, priming both caches
+  /// serially first and fanning out over threads when the engine asks for it.
+  [[nodiscard]] std::vector<EvalReport> run_batch(
+      const std::vector<std::pair<enterprise::RedundancyDesign, double>>& jobs) const;
+
+  Scenario scenario_;
+  mutable std::mutex cache_mutex_;
+  mutable std::map<double, IntervalAggregation> cache_;
+  mutable std::map<std::array<unsigned, enterprise::kRoleCount>, SecurityMetricsPair> harm_cache_;
+};
+
+}  // namespace patchsec::core

@@ -20,11 +20,13 @@ std::vector<CampaignStage> severity_banded_campaign() {
   return stages;
 }
 
-std::vector<CampaignStageResult> evaluate_campaign(
+namespace {
+
+std::vector<CampaignStageResult> run_campaign(
     const enterprise::RedundancyDesign& design,
     const std::map<enterprise::ServerRole, enterprise::ServerSpec>& specs,
     const enterprise::ReachabilityPolicy& policy, const std::vector<CampaignStage>& stages,
-    double patch_interval_hours) {
+    double patch_interval_hours, const petri::AnalyzerOptions& engine) {
   if (stages.empty()) throw std::invalid_argument("evaluate_campaign: no stages");
   for (const CampaignStage& s : stages) {
     if (!s.patched) throw std::invalid_argument("evaluate_campaign: null stage predicate");
@@ -34,7 +36,6 @@ std::vector<CampaignStageResult> evaluate_campaign(
   const harm::Harm unpatched = network.build_harm();
 
   std::vector<CampaignStageResult> results;
-  std::size_t patched_so_far = 0;
   for (std::size_t k = 0; k < stages.size(); ++k) {
     CampaignStageResult result;
     result.stage = stages[k].name;
@@ -87,16 +88,37 @@ std::vector<CampaignStageResult> evaluate_campaign(
         options.app_patch_hours_override = 1e-6;
         options.reboot_required = false;  // nothing installed: no reboot
       }
-      rates.emplace(role, avail::aggregate_server(spec, options));
+      rates.emplace(role, avail::aggregate_server_detailed(spec, options, engine).rates);
     }
     result.vulnerabilities_patched = stage_vulns;
-    result.coa = avail::capacity_oriented_availability(design, rates);
+    result.coa = avail::capacity_oriented_availability_detailed(design, rates, engine).coa;
 
-    patched_so_far += stage_vulns;
     results.push_back(std::move(result));
   }
-  (void)patched_so_far;
   return results;
+}
+
+}  // namespace
+
+std::vector<CampaignStageResult> evaluate_campaign(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, enterprise::ServerSpec>& specs,
+    const enterprise::ReachabilityPolicy& policy, const std::vector<CampaignStage>& stages,
+    double patch_interval_hours) {
+  return run_campaign(design, specs, policy, stages, patch_interval_hours,
+                      petri::AnalyzerOptions{});
+}
+
+std::vector<CampaignStageResult> evaluate_campaign(const Session& session,
+                                                   const enterprise::RedundancyDesign& design,
+                                                   const std::vector<CampaignStage>& stages) {
+  const Scenario& scenario = session.scenario();
+  petri::AnalyzerOptions engine = scenario.engine().analyzer_options();
+  // Stage results carry no per-solve diagnostics, so a diverged solve could
+  // not be surfaced to the caller — always escalate it instead.
+  engine.throw_on_divergence = true;
+  return run_campaign(design, scenario.specs(), scenario.policy(), stages,
+                      scenario.patch_interval_hours(), engine);
 }
 
 }  // namespace patchsec::core

@@ -2,9 +2,26 @@
 
 namespace patchsec::core {
 
+namespace {
+
+template <typename Eval, typename Bounds>
+std::vector<Eval> filter(const std::vector<Eval>& evals, const Bounds& bounds) {
+  std::vector<Eval> out;
+  for (const Eval& e : evals) {
+    if (satisfies(e, bounds)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
 bool satisfies(const DesignEvaluation& eval, const TwoMetricBounds& bounds) {
   return eval.after_patch.attack_success_probability <= bounds.asp_upper &&
          eval.coa >= bounds.coa_lower;
+}
+
+bool satisfies(const EvalReport& report, const TwoMetricBounds& bounds) {
+  return satisfies(report.metrics(), bounds);
 }
 
 bool satisfies(const DesignEvaluation& eval, const MultiMetricBounds& bounds) {
@@ -15,22 +32,28 @@ bool satisfies(const DesignEvaluation& eval, const MultiMetricBounds& bounds) {
          eval.coa >= bounds.coa_lower;
 }
 
+bool satisfies(const EvalReport& report, const MultiMetricBounds& bounds) {
+  return satisfies(report.metrics(), bounds);
+}
+
 std::vector<DesignEvaluation> filter_designs(const std::vector<DesignEvaluation>& evals,
                                              const TwoMetricBounds& bounds) {
-  std::vector<DesignEvaluation> out;
-  for (const DesignEvaluation& e : evals) {
-    if (satisfies(e, bounds)) out.push_back(e);
-  }
-  return out;
+  return filter(evals, bounds);
 }
 
 std::vector<DesignEvaluation> filter_designs(const std::vector<DesignEvaluation>& evals,
                                              const MultiMetricBounds& bounds) {
-  std::vector<DesignEvaluation> out;
-  for (const DesignEvaluation& e : evals) {
-    if (satisfies(e, bounds)) out.push_back(e);
-  }
-  return out;
+  return filter(evals, bounds);
+}
+
+std::vector<EvalReport> filter_designs(const std::vector<EvalReport>& reports,
+                                       const TwoMetricBounds& bounds) {
+  return filter(reports, bounds);
+}
+
+std::vector<EvalReport> filter_designs(const std::vector<EvalReport>& reports,
+                                       const MultiMetricBounds& bounds) {
+  return filter(reports, bounds);
 }
 
 }  // namespace patchsec::core

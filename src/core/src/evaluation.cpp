@@ -1,14 +1,36 @@
 #include "patchsec/core/evaluation.hpp"
 
+// This translation unit intentionally implements the deprecated shim.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#elif defined(_MSC_VER)
+#pragma warning(disable : 4996)
+#endif
+
 namespace patchsec::core {
+
+namespace {
+
+Scenario shim_scenario(std::map<enterprise::ServerRole, enterprise::ServerSpec> specs,
+                       enterprise::ReachabilityPolicy policy, double patch_interval_hours) {
+  EngineOptions engine;
+  engine.throw_on_divergence = true;  // the historical Evaluator behaviour
+  return Scenario()
+      .with_specs(std::move(specs))
+      .with_policy(std::move(policy))
+      .with_patch_interval(patch_interval_hours)
+      .with_engine(engine);
+}
+
+}  // namespace
 
 Evaluator::Evaluator(std::map<enterprise::ServerRole, enterprise::ServerSpec> specs,
                      enterprise::ReachabilityPolicy policy, double patch_interval_hours)
-    : specs_(std::move(specs)), policy_(std::move(policy)),
-      patch_interval_hours_(patch_interval_hours) {
-  for (const auto& [role, spec] : specs_) {
-    rates_.emplace(role, avail::aggregate_server(spec, patch_interval_hours_));
-  }
+    : session_(std::make_shared<const Session>(
+          shim_scenario(std::move(specs), std::move(policy), patch_interval_hours))) {
+  // The original Evaluator aggregated eagerly in its constructor; preserve
+  // that (including when construction throws on degenerate specs).
+  (void)session_->aggregated_rates();
 }
 
 Evaluator Evaluator::paper_case_study(double patch_interval_hours) {
@@ -17,23 +39,28 @@ Evaluator Evaluator::paper_case_study(double patch_interval_hours) {
 }
 
 DesignEvaluation Evaluator::evaluate(const enterprise::RedundancyDesign& design) const {
-  const enterprise::NetworkModel network(design, specs_, policy_);
-  const harm::Harm before = network.build_harm();
-
-  DesignEvaluation result;
-  result.design = design;
-  result.before_patch = before.evaluate();
-  result.after_patch = before.after_critical_patch().evaluate();
-  result.coa = avail::capacity_oriented_availability(design, rates_);
-  return result;
+  return session_->evaluate(design).metrics();
 }
 
 std::vector<DesignEvaluation> Evaluator::evaluate_all(
     const std::vector<enterprise::RedundancyDesign>& designs) const {
   std::vector<DesignEvaluation> out;
   out.reserve(designs.size());
-  for (const enterprise::RedundancyDesign& d : designs) out.push_back(evaluate(d));
+  for (const EvalReport& report : session_->evaluate_all(designs)) out.push_back(report.metrics());
   return out;
+}
+
+const std::map<enterprise::ServerRole, avail::AggregatedRates>& Evaluator::aggregated_rates()
+    const {
+  return session_->aggregated_rates();
+}
+
+const std::map<enterprise::ServerRole, enterprise::ServerSpec>& Evaluator::specs() const {
+  return session_->scenario().specs();
+}
+
+double Evaluator::patch_interval_hours() const {
+  return session_->scenario().patch_interval_hours();
 }
 
 }  // namespace patchsec::core

@@ -6,6 +6,37 @@
 
 namespace patchsec::core {
 
+namespace {
+
+/// The EvalReport emitters reuse the DesignEvaluation formatting verbatim.
+std::vector<DesignEvaluation> strip_diagnostics(const std::vector<EvalReport>& reports) {
+  std::vector<DesignEvaluation> evals;
+  evals.reserve(reports.size());
+  for (const EvalReport& r : reports) evals.push_back(r.metrics());
+  return evals;
+}
+
+/// One "{aim,asp,noev,noap,noep}" JSON object — shared by both write_json
+/// overloads so the two outputs cannot drift apart.
+void metrics_json(std::ostream& out, const harm::SecurityMetrics& m) {
+  out << "{\"aim\":" << m.attack_impact << ",\"asp\":" << m.attack_success_probability
+      << ",\"noev\":" << m.exploitable_vulnerabilities << ",\"noap\":" << m.attack_paths
+      << ",\"noep\":" << m.entry_points << "}";
+}
+
+/// The common per-design JSON prefix: {"design":...,"servers":N,...,
+/// "before":{...},"after":{...},"coa":C — the caller closes the object.
+void design_json_prefix(std::ostream& out, const DesignEvaluation& e) {
+  out << "{\"design\":\"" << e.design.name() << "\",\"servers\":" << e.design.total_servers()
+      << ",\"before\":";
+  metrics_json(out, e.before_patch);
+  out << ",\"after\":";
+  metrics_json(out, e.after_patch);
+  out << ",\"coa\":" << e.coa;
+}
+
+}  // namespace
+
 void write_scatter_csv(std::ostream& out, const std::vector<DesignEvaluation>& evals) {
   out << "design,asp_before,asp_after,coa\n";
   for (const DesignEvaluation& e : evals) {
@@ -48,23 +79,18 @@ void write_table(std::ostream& out, const std::vector<DesignEvaluation>& evals) 
 }
 
 void write_json(std::ostream& out, const std::vector<DesignEvaluation>& evals) {
-  const auto metrics_json = [&out](const harm::SecurityMetrics& m) {
-    out << "{\"aim\":" << m.attack_impact << ",\"asp\":" << m.attack_success_probability
-        << ",\"noev\":" << m.exploitable_vulnerabilities << ",\"noap\":" << m.attack_paths
-        << ",\"noep\":" << m.entry_points << "}";
-  };
+  // Uniform precision for every element; restored afterwards so the caller's
+  // stream state is untouched.
+  const std::streamsize old_precision = out.precision(10);
   out << "[";
   for (std::size_t i = 0; i < evals.size(); ++i) {
-    const DesignEvaluation& e = evals[i];
     if (i != 0) out << ",";
-    out << "\n  {\"design\":\"" << e.design.name() << "\",\"servers\":"
-        << e.design.total_servers() << ",\"before\":";
-    metrics_json(e.before_patch);
-    out << ",\"after\":";
-    metrics_json(e.after_patch);
-    out << ",\"coa\":" << std::setprecision(10) << e.coa << "}";
+    out << "\n  ";
+    design_json_prefix(out, evals[i]);
+    out << "}";
   }
   out << "\n]\n";
+  out.precision(old_precision);
 }
 
 std::string summary_line(const DesignEvaluation& eval) {
@@ -73,6 +99,55 @@ std::string summary_line(const DesignEvaluation& eval) {
       << eval.after_patch.attack_success_probability << ", COA=" << std::setprecision(6)
       << eval.coa;
   return out.str();
+}
+
+void write_scatter_csv(std::ostream& out, const std::vector<EvalReport>& reports) {
+  write_scatter_csv(out, strip_diagnostics(reports));
+}
+
+void write_radar_csv(std::ostream& out, const std::vector<EvalReport>& reports) {
+  write_radar_csv(out, strip_diagnostics(reports));
+}
+
+void write_table(std::ostream& out, const std::vector<EvalReport>& reports) {
+  write_table(out, strip_diagnostics(reports));
+}
+
+std::string summary_line(const EvalReport& report) { return summary_line(report.metrics()); }
+
+void write_json(std::ostream& out, const std::vector<EvalReport>& reports) {
+  // Uniform precision for every element; restored afterwards so the caller's
+  // stream state is untouched.
+  const std::streamsize old_precision = out.precision(10);
+  const auto stage_json = [&out](const petri::SolveDiagnostics& d) {
+    out << "{\"states\":" << d.tangible_states << ",\"vanishing\":" << d.vanishing_markings
+        << ",\"transitions\":" << d.transitions << ",\"iterations\":" << d.solver_iterations
+        << ",\"residual\":" << d.residual << ",\"converged\":" << (d.converged ? "true" : "false")
+        << ",\"wall_s\":" << d.wall_time_seconds << "}";
+  };
+  out << "[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const EvalReport& r = reports[i];
+    if (i != 0) out << ",";
+    out << "\n  ";
+    design_json_prefix(out, r.metrics());
+    out << ",\"patch_interval_hours\":" << r.patch_interval_hours;
+    out << ",\"diagnostics\":{\"converged\":" << (r.converged() ? "true" : "false")
+        << ",\"total_iterations\":" << r.total_solver_iterations()
+        << ",\"wall_s\":" << r.wall_time_seconds << ",\"availability\":";
+    stage_json(r.availability_diagnostics);
+    out << ",\"aggregation\":{";
+    bool first = true;
+    for (const auto& [role, d] : r.aggregation_diagnostics) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << enterprise::to_string(role) << "\":";
+      stage_json(d);
+    }
+    out << "}}}";
+  }
+  out << "\n]\n";
+  out.precision(old_precision);
 }
 
 }  // namespace patchsec::core

@@ -1,0 +1,92 @@
+#include "patchsec/core/scenario.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace patchsec::core {
+
+Scenario Scenario::paper_case_study() {
+  return Scenario()
+      .with_specs(enterprise::paper_server_specs())
+      .with_policy(enterprise::ReachabilityPolicy::three_tier())
+      .with_patch_interval(720.0)
+      .with_designs(enterprise::paper_designs());
+}
+
+Scenario& Scenario::with_specs(std::map<enterprise::ServerRole, enterprise::ServerSpec> specs) {
+  specs_ = std::move(specs);
+  return *this;
+}
+
+Scenario& Scenario::with_spec(enterprise::ServerRole role, enterprise::ServerSpec spec) {
+  specs_.insert_or_assign(role, std::move(spec));
+  return *this;
+}
+
+Scenario& Scenario::with_policy(enterprise::ReachabilityPolicy policy) {
+  policy_ = std::move(policy);
+  return *this;
+}
+
+Scenario& Scenario::with_patch_interval(double hours) {
+  patch_intervals_ = {hours};
+  return *this;
+}
+
+Scenario& Scenario::with_patch_schedule(std::vector<double> hours) {
+  patch_intervals_ = std::move(hours);
+  return *this;
+}
+
+Scenario& Scenario::with_designs(std::vector<enterprise::RedundancyDesign> designs) {
+  designs_ = std::move(designs);
+  return *this;
+}
+
+Scenario& Scenario::with_design(enterprise::RedundancyDesign design) {
+  designs_.push_back(design);
+  return *this;
+}
+
+Scenario& Scenario::with_engine(EngineOptions engine) {
+  engine_ = engine;
+  return *this;
+}
+
+void Scenario::validate() const {
+  if (specs_.empty()) {
+    throw std::invalid_argument("Scenario: no server specs (use with_specs/with_spec)");
+  }
+  if (!policy_.attacker_reaches || !policy_.reaches) {
+    throw std::invalid_argument("Scenario: reachability policy hooks must be callable");
+  }
+  if (patch_intervals_.empty()) {
+    throw std::invalid_argument("Scenario: empty patch schedule");
+  }
+  for (double h : patch_intervals_) {
+    if (!(h > 0.0)) {
+      throw std::invalid_argument("Scenario: patch interval must be > 0 hours, got " +
+                                  std::to_string(h));
+    }
+  }
+  for (const enterprise::RedundancyDesign& d : designs_) {
+    if (d.total_servers() == 0) {
+      throw std::invalid_argument("Scenario: design \"" + d.name() + "\" deploys no servers");
+    }
+    for (const enterprise::ServerRole role :
+         {enterprise::ServerRole::kDns, enterprise::ServerRole::kWeb, enterprise::ServerRole::kApp,
+          enterprise::ServerRole::kDb}) {
+      if (d.count(role) > 0 && !specs_.contains(role)) {
+        throw std::invalid_argument("Scenario: design \"" + d.name() + "\" deploys role " +
+                                    std::string(enterprise::to_string(role)) +
+                                    " but no spec was provided for it");
+      }
+    }
+  }
+  if (engine_.steady_state.max_iterations == 0) {
+    throw std::invalid_argument("Scenario: steady_state.max_iterations must be > 0");
+  }
+}
+
+}  // namespace patchsec::core

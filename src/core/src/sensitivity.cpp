@@ -10,34 +10,34 @@ namespace {
 
 double coa_with(const enterprise::RedundancyDesign& design,
                 std::map<enterprise::ServerRole, avail::AggregatedRates> rates,
-                enterprise::ServerRole role, bool perturb_mu, double factor) {
+                enterprise::ServerRole role, bool perturb_mu, double factor,
+                const petri::AnalyzerOptions& engine) {
   auto& r = rates.at(role);
   if (perturb_mu) {
     r.mu_eq *= factor;
   } else {
     r.lambda_eq *= factor;
   }
-  return avail::capacity_oriented_availability(design, rates);
+  return avail::capacity_oriented_availability_detailed(design, rates, engine).coa;
 }
 
-}  // namespace
-
-std::vector<SensitivityEntry> coa_sensitivity(
+std::vector<SensitivityEntry> sensitivity(
     const enterprise::RedundancyDesign& design,
-    const std::map<enterprise::ServerRole, avail::AggregatedRates>& rates,
-    double relative_step) {
+    const std::map<enterprise::ServerRole, avail::AggregatedRates>& rates, double relative_step,
+    const petri::AnalyzerOptions& engine) {
   if (!(relative_step > 0.0) || relative_step >= 1.0) {
     throw std::invalid_argument("coa_sensitivity: relative_step must be in (0,1)");
   }
-  const double base_coa = avail::capacity_oriented_availability(design, rates);
+  const double base_coa =
+      avail::capacity_oriented_availability_detailed(design, rates, engine).coa;
 
   std::vector<SensitivityEntry> out;
   for (const auto& [role, r] : rates) {
     if (design.count(role) == 0) continue;
     for (bool perturb_mu : {true, false}) {
       const double base_value = perturb_mu ? r.mu_eq : r.lambda_eq;
-      const double up = coa_with(design, rates, role, perturb_mu, 1.0 + relative_step);
-      const double down = coa_with(design, rates, role, perturb_mu, 1.0 - relative_step);
+      const double up = coa_with(design, rates, role, perturb_mu, 1.0 + relative_step, engine);
+      const double down = coa_with(design, rates, role, perturb_mu, 1.0 - relative_step, engine);
       SensitivityEntry entry;
       entry.parameter = std::string(perturb_mu ? "mu_eq(" : "lambda_eq(") +
                         enterprise::to_string(role) + ")";
@@ -51,6 +51,34 @@ std::vector<SensitivityEntry> coa_sensitivity(
     return std::abs(a.elasticity) > std::abs(b.elasticity);
   });
   return out;
+}
+
+}  // namespace
+
+std::vector<SensitivityEntry> coa_sensitivity(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, avail::AggregatedRates>& rates, double relative_step) {
+  return sensitivity(design, rates, relative_step, petri::AnalyzerOptions{});
+}
+
+std::vector<SensitivityEntry> coa_sensitivity(const Session& session,
+                                              const enterprise::RedundancyDesign& design,
+                                              double relative_step) {
+  petri::AnalyzerOptions engine = session.scenario().engine().analyzer_options();
+  // Elasticities carry no per-solve diagnostics, so a diverged solve could
+  // not be surfaced to the caller — always escalate it instead.  That covers
+  // the COA solves below; the memoized base rates were solved under the
+  // session's own (possibly non-throwing) engine, so vet their diagnostics
+  // with the same criterion SrnAnalyzer uses before building on them.
+  engine.throw_on_divergence = true;
+  const double hours = session.scenario().patch_interval_hours();
+  for (const auto& [role, diag] : session.aggregation_diagnostics(hours)) {
+    if (diag.badly_diverged()) {
+      throw std::runtime_error(std::string("coa_sensitivity: lower-layer aggregation for role ") +
+                               enterprise::to_string(role) + " did not converge");
+    }
+  }
+  return sensitivity(design, session.aggregated_rates(hours), relative_step, engine);
 }
 
 }  // namespace patchsec::core

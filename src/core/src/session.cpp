@@ -1,0 +1,233 @@
+#include "patchsec/core/session.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace patchsec::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+using Job = std::pair<enterprise::RedundancyDesign, double>;
+
+}  // namespace
+
+bool EvalReport::converged() const noexcept {
+  if (!availability_diagnostics.converged) return false;
+  for (const auto& [role, d] : aggregation_diagnostics) {
+    if (!d.converged) return false;
+  }
+  return true;
+}
+
+std::size_t EvalReport::total_solver_iterations() const noexcept {
+  std::size_t total = availability_diagnostics.solver_iterations;
+  for (const auto& [role, d] : aggregation_diagnostics) total += d.solver_iterations;
+  return total;
+}
+
+DesignEvaluation EvalReport::metrics() const {
+  return DesignEvaluation{design, before_patch, after_patch, coa};
+}
+
+Session::Session(Scenario scenario) : scenario_(std::move(scenario)) { scenario_.validate(); }
+
+const Session::IntervalAggregation& Session::aggregation_for(double patch_interval_hours) const {
+  if (!(patch_interval_hours > 0.0)) {
+    throw std::invalid_argument("Session: patch interval must be > 0 hours");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_.find(patch_interval_hours);
+    if (it != cache_.end()) return it->second;
+  }
+
+  // Solve outside the lock so concurrent callers on different cadences
+  // proceed in parallel.  Two threads racing on the same cold cadence both
+  // compute; try_emplace keeps the first result and discards the duplicate
+  // (acceptable: the computation is pure).
+  IntervalAggregation agg;
+  avail::ServerSrnOptions srn_options;
+  srn_options.patch_interval_hours = patch_interval_hours;
+  const petri::AnalyzerOptions engine = scenario_.engine().analyzer_options();
+  for (const auto& [role, spec] : scenario_.specs()) {
+    avail::ServerAggregation server = avail::aggregate_server_detailed(spec, srn_options, engine);
+    agg.rates.emplace(role, server.rates);
+    agg.diagnostics.emplace(role, server.diagnostics);
+  }
+
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.try_emplace(patch_interval_hours, std::move(agg)).first->second;
+}
+
+std::vector<EvalReport> Session::run_batch(const std::vector<Job>& jobs) const {
+  std::vector<EvalReport> reports(jobs.size());
+  const EngineOptions& engine = scenario_.engine();
+
+  unsigned workers = 1;
+  if (engine.parallel && jobs.size() > 1) {
+    workers = engine.threads != 0 ? engine.threads : std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+    if (workers > jobs.size()) workers = static_cast<unsigned>(jobs.size());
+  }
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      reports[i] = evaluate(jobs[i].first, jobs[i].second);
+    }
+    return reports;
+  }
+
+  // Index-parallel loop over [0, count) on at most `workers` threads; the
+  // first worker exception (if any) is rethrown here, and a thrown body
+  // drains the queue so the batch fails fast.
+  const auto parallel_for = [workers](std::size_t count, const auto& body) {
+    if (count == 0) return;
+    const unsigned pool = count < workers ? static_cast<unsigned>(count) : workers;
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        try {
+          body(i);
+        } catch (...) {
+          next.store(count);  // cancel the remaining queue: fail fast
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    try {
+      for (unsigned t = 0; t < pool; ++t) threads.emplace_back(worker);
+    } catch (...) {
+      // Thread spawn failed partway (std::system_error): drain the queue so
+      // already-running workers finish, join them, then propagate — a
+      // joinable std::thread destructor would call std::terminate.
+      next.store(count);
+      for (std::thread& t : threads) t.join();
+      throw;
+    }
+    for (std::thread& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  };
+
+  // Prime the per-cadence aggregations serially (few unique cadences, shared
+  // by every design), then the HARM metrics of every design appearing in
+  // more than one job — across the worker pool, one design per task, so a
+  // schedule sweep neither races duplicate HARM computations in the main
+  // loop nor serializes them here.  Designs appearing once keep their HARM
+  // work inside the main parallel loop.
+  std::map<std::array<unsigned, enterprise::kRoleCount>, unsigned> jobs_per_design;
+  std::vector<const enterprise::RedundancyDesign*> shared_designs;
+  for (const Job& job : jobs) {
+    (void)aggregation_for(job.second);
+    if (++jobs_per_design[job.first.counts] == 2) shared_designs.push_back(&job.first);
+  }
+  parallel_for(shared_designs.size(), [&](std::size_t i) { (void)security_for(*shared_designs[i]); });
+
+  parallel_for(jobs.size(),
+               [&](std::size_t i) { reports[i] = evaluate(jobs[i].first, jobs[i].second); });
+  return reports;
+}
+
+const Session::SecurityMetricsPair& Session::security_for(
+    const enterprise::RedundancyDesign& design) const {
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = harm_cache_.find(design.counts);
+    if (it != harm_cache_.end()) return it->second;
+  }
+
+  // Same lock-free-compute pattern as aggregation_for: racing threads on the
+  // same cold design both compute; try_emplace keeps the first result.
+  const enterprise::NetworkModel network(design, scenario_.specs(), scenario_.policy());
+  const harm::Harm before = network.build_harm();
+  SecurityMetricsPair metrics;
+  metrics.before_patch = before.evaluate();
+  metrics.after_patch = before.after_critical_patch().evaluate();
+
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return harm_cache_.try_emplace(design.counts, std::move(metrics)).first->second;
+}
+
+EvalReport Session::evaluate(const enterprise::RedundancyDesign& design) const {
+  return evaluate(design, scenario_.patch_interval_hours());
+}
+
+EvalReport Session::evaluate(const enterprise::RedundancyDesign& design,
+                             double patch_interval_hours) const {
+  const auto start = Clock::now();
+  const IntervalAggregation& agg = aggregation_for(patch_interval_hours);
+  const SecurityMetricsPair& security = security_for(design);
+
+  EvalReport report;
+  report.design = design;
+  report.patch_interval_hours = patch_interval_hours;
+  report.before_patch = security.before_patch;
+  report.after_patch = security.after_patch;
+
+  const avail::CoaEvaluation coa = avail::capacity_oriented_availability_detailed(
+      design, agg.rates, scenario_.engine().analyzer_options());
+  report.coa = coa.coa;
+  report.availability_diagnostics = coa.diagnostics;
+  report.aggregation_diagnostics = agg.diagnostics;
+  report.wall_time_seconds = seconds_since(start);
+  return report;
+}
+
+std::vector<EvalReport> Session::evaluate_all() const {
+  std::vector<Job> jobs;
+  jobs.reserve(scenario_.designs().size() * scenario_.patch_intervals().size());
+  for (double hours : scenario_.patch_intervals()) {
+    for (const enterprise::RedundancyDesign& design : scenario_.designs()) {
+      jobs.emplace_back(design, hours);
+    }
+  }
+  return run_batch(jobs);
+}
+
+std::vector<EvalReport> Session::evaluate_all(
+    const std::vector<enterprise::RedundancyDesign>& designs) const {
+  return evaluate_all(designs, scenario_.patch_interval_hours());
+}
+
+std::vector<EvalReport> Session::evaluate_all(
+    const std::vector<enterprise::RedundancyDesign>& designs, double patch_interval_hours) const {
+  std::vector<Job> jobs;
+  jobs.reserve(designs.size());
+  for (const enterprise::RedundancyDesign& design : designs) {
+    jobs.emplace_back(design, patch_interval_hours);
+  }
+  return run_batch(jobs);
+}
+
+const std::map<enterprise::ServerRole, avail::AggregatedRates>& Session::aggregated_rates() const {
+  return aggregated_rates(scenario_.patch_interval_hours());
+}
+
+const std::map<enterprise::ServerRole, avail::AggregatedRates>& Session::aggregated_rates(
+    double patch_interval_hours) const {
+  return aggregation_for(patch_interval_hours).rates;
+}
+
+const std::map<enterprise::ServerRole, petri::SolveDiagnostics>& Session::aggregation_diagnostics(
+    double patch_interval_hours) const {
+  return aggregation_for(patch_interval_hours).diagnostics;
+}
+
+}  // namespace patchsec::core

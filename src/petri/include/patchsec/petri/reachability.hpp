@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "patchsec/ctmc/ctmc.hpp"
+#include "patchsec/linalg/steady_state.hpp"
 #include "patchsec/petri/marking.hpp"
 #include "patchsec/petri/srn_model.hpp"
 
@@ -19,6 +20,41 @@ struct ReachabilityOptions {
   /// Abort when a chain of immediate firings exceeds this depth (indicates a
   /// vanishing loop, which the supported model class must not contain).
   std::size_t max_vanishing_depth = 4096;
+};
+
+/// \brief End-to-end solver configuration for one SRN analysis: reachability
+/// limits plus the steady-state solver knobs handed to
+/// linalg::solve_steady_state.  This is the lowered form of the facade's
+/// core::EngineOptions.
+struct AnalyzerOptions {
+  ReachabilityOptions reachability;
+  linalg::SteadyStateOptions steady_state;
+  /// When true (the historical behaviour), SrnAnalyzer throws
+  /// std::runtime_error if the steady-state solve diverges badly
+  /// (not converged and residual above 1e-6).  When false the best-effort
+  /// distribution is used and the failure is recorded in diagnostics() —
+  /// callers (core::Session) surface it instead of crashing.
+  bool throw_on_divergence = true;
+};
+
+/// \brief Per-stage diagnostics of one SRN analysis: how big the lowered
+/// model was and how the steady-state solver fared.  Surfaced all the way up
+/// to core::EvalReport.
+struct SolveDiagnostics {
+  std::size_t tangible_states = 0;      ///< CTMC states after elimination.
+  std::size_t vanishing_markings = 0;   ///< vanishing markings eliminated.
+  std::size_t transitions = 0;          ///< CTMC rate transitions.
+  std::size_t solver_iterations = 0;    ///< iterations of the winning method.
+  double residual = 0.0;                ///< max-norm of pi*Q at the iterate.
+  bool converged = false;               ///< false when max_iterations elapsed.
+  double wall_time_seconds = 0.0;       ///< graph build + solve.
+
+  /// The distribution is not usable even as a best-effort estimate: the
+  /// iteration hit its budget with a residual that is not merely round-off.
+  /// This is the criterion AnalyzerOptions::throw_on_divergence escalates.
+  [[nodiscard]] bool badly_diverged() const noexcept {
+    return !converged && residual > 1e-6;
+  }
 };
 
 /// The lowered model: tangible markings, the CTMC over them, and the initial
@@ -51,8 +87,18 @@ class SrnAnalyzer {
  public:
   explicit SrnAnalyzer(const SrnModel& model, const ReachabilityOptions& options = {});
 
+  /// Full solver configuration: reachability limits plus steady-state method,
+  /// tolerance and iteration budget.  diagnostics() reports how the solve
+  /// went; with options.throw_on_divergence == false a non-converged solve is
+  /// recorded there instead of thrown.
+  SrnAnalyzer(const SrnModel& model, const AnalyzerOptions& options);
+
   [[nodiscard]] const ReachabilityGraph& graph() const noexcept { return graph_; }
   [[nodiscard]] const std::vector<double>& steady_state() const noexcept { return steady_; }
+
+  /// State counts, solver iterations, residual, convergence flag and wall
+  /// time of the analysis run in the constructor.
+  [[nodiscard]] const SolveDiagnostics& diagnostics() const noexcept { return diagnostics_; }
 
   /// Expected steady-state rate reward  E[r] = sum_i pi_i r(m_i).
   [[nodiscard]] double expected_reward(const RewardFunction& reward) const;
@@ -66,6 +112,7 @@ class SrnAnalyzer {
  private:
   ReachabilityGraph graph_;
   std::vector<double> steady_;
+  SolveDiagnostics diagnostics_;
 };
 
 }  // namespace patchsec::petri

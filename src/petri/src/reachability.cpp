@@ -1,5 +1,6 @@
 #include "patchsec/petri/reachability.hpp"
 
+#include <chrono>
 #include <deque>
 #include <stdexcept>
 
@@ -105,9 +106,23 @@ ReachabilityGraph build_reachability_graph(const SrnModel& model,
 }
 
 SrnAnalyzer::SrnAnalyzer(const SrnModel& model, const ReachabilityOptions& options)
-    : graph_(build_reachability_graph(model, options)) {
-  const linalg::SteadyStateResult ss = graph_.chain.steady_state();
-  if (!ss.converged && ss.residual > 1e-6) {
+    : SrnAnalyzer(model, AnalyzerOptions{.reachability = options,
+                                         .steady_state = {},
+                                         .throw_on_divergence = true}) {}
+
+SrnAnalyzer::SrnAnalyzer(const SrnModel& model, const AnalyzerOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  graph_ = build_reachability_graph(model, options.reachability);
+  const linalg::SteadyStateResult ss = graph_.chain.steady_state(options.steady_state);
+  diagnostics_.tangible_states = graph_.tangible_count();
+  diagnostics_.vanishing_markings = graph_.vanishing_markings_seen;
+  diagnostics_.transitions = graph_.chain.transitions().size();
+  diagnostics_.solver_iterations = ss.iterations;
+  diagnostics_.residual = ss.residual;
+  diagnostics_.converged = ss.converged;
+  diagnostics_.wall_time_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (options.throw_on_divergence && diagnostics_.badly_diverged()) {
     throw std::runtime_error("SRN steady-state solve failed to converge");
   }
   steady_ = ss.distribution;

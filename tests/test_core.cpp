@@ -7,39 +7,39 @@
 #include <sstream>
 
 #include "patchsec/core/decision.hpp"
-#include "patchsec/core/evaluation.hpp"
 #include "patchsec/core/report.hpp"
+#include "patchsec/core/session.hpp"
 
 namespace core = patchsec::core;
 namespace ent = patchsec::enterprise;
 
 namespace {
 
-const core::Evaluator& evaluator() {
-  static const core::Evaluator e = core::Evaluator::paper_case_study();
-  return e;
+const core::Session& session() {
+  static const core::Session s(core::Scenario::paper_case_study());
+  return s;
 }
 
-const std::vector<core::DesignEvaluation>& five_designs() {
-  static const auto evals = evaluator().evaluate_all(ent::paper_designs());
-  return evals;
+const std::vector<core::EvalReport>& five_designs() {
+  static const auto reports = session().evaluate_all();
+  return reports;
 }
 
 }  // namespace
 
-TEST(Evaluator, AggregatesAllFourRoles) {
-  EXPECT_EQ(evaluator().aggregated_rates().size(), 4u);
-  EXPECT_DOUBLE_EQ(evaluator().patch_interval_hours(), 720.0);
+TEST(Session, AggregatesAllFourRoles) {
+  EXPECT_EQ(session().aggregated_rates().size(), 4u);
+  EXPECT_DOUBLE_EQ(session().scenario().patch_interval_hours(), 720.0);
 }
 
-TEST(Evaluator, EvaluatesDesignJointly) {
-  const core::DesignEvaluation e = evaluator().evaluate(ent::example_network_design());
+TEST(Session, EvaluatesDesignJointly) {
+  const core::EvalReport e = session().evaluate(ent::example_network_design());
   EXPECT_DOUBLE_EQ(e.before_patch.attack_impact, 52.2);
   EXPECT_DOUBLE_EQ(e.after_patch.attack_impact, 42.2);
   EXPECT_NEAR(e.coa, 0.99707, 5e-6);
 }
 
-TEST(Evaluator, EvaluateAllPreservesOrder) {
+TEST(Session, EvaluateAllPreservesOrder) {
   const auto& evals = five_designs();
   ASSERT_EQ(evals.size(), 5u);
   const auto designs = ent::paper_designs();
@@ -48,14 +48,14 @@ TEST(Evaluator, EvaluateAllPreservesOrder) {
   }
 }
 
-TEST(Evaluator, BeforePatchAspIsMaximalEverywhere) {
+TEST(Session, BeforePatchAspIsMaximalEverywhere) {
   // Fig. 6(a): every design sits at ASP = 1.0 before the patch.
   for (const auto& e : five_designs()) {
     EXPECT_DOUBLE_EQ(e.before_patch.attack_success_probability, 1.0) << e.design.name();
   }
 }
 
-TEST(Evaluator, AimIdenticalAcrossDesigns) {
+TEST(Session, AimIdenticalAcrossDesigns) {
   // Fig. 7 observation: AIM does not change across design choices (identical
   // longest path), before or after patch.
   for (const auto& e : five_designs()) {
@@ -64,7 +64,7 @@ TEST(Evaluator, AimIdenticalAcrossDesigns) {
   }
 }
 
-TEST(Evaluator, DnsRedundancyIsSecurityFree) {
+TEST(Session, DnsRedundancyIsSecurityFree) {
   // Paper: designs 1 and 2 share ASP/NoAP/NoEV after patch because the DNS
   // server has no exploitable vulnerability once patched.
   const auto& base = five_designs()[0].after_patch;
@@ -75,7 +75,7 @@ TEST(Evaluator, DnsRedundancyIsSecurityFree) {
   EXPECT_EQ(base.entry_points, dns2.entry_points);
 }
 
-TEST(Evaluator, OtherRedundancyHurtsSecurity) {
+TEST(Session, OtherRedundancyHurtsSecurity) {
   const auto& base = five_designs()[0].after_patch;
   for (std::size_t i = 2; i < 5; ++i) {
     const auto& m = five_designs()[i].after_patch;

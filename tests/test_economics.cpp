@@ -10,10 +10,9 @@ namespace ent = patchsec::enterprise;
 
 namespace {
 
-const std::vector<core::DesignEvaluation>& five_designs() {
-  static const auto evals =
-      core::Evaluator::paper_case_study().evaluate_all(ent::paper_designs());
-  return evals;
+const std::vector<core::EvalReport>& five_designs() {
+  static const auto reports = core::Session(core::Scenario::paper_case_study()).evaluate_all();
+  return reports;
 }
 
 }  // namespace
@@ -25,7 +24,7 @@ TEST(Economics, CostCompositionIsExact) {
                               .annual_attack_probability = 0.5,
                               .patch_labor_cost = 10.0,
                               .patches_per_year = 12.0};
-  const core::DesignEvaluation& base = five_designs()[0];  // 4 servers
+  const core::EvalReport& base = five_designs()[0];  // 4 servers
   const core::CostBreakdown cost = core::annual_cost(base, model);
   EXPECT_DOUBLE_EQ(cost.infrastructure, 4000.0);
   EXPECT_NEAR(cost.downtime, (1.0 - base.coa) * 8760.0 * 100.0, 1e-9);
@@ -70,7 +69,8 @@ TEST(Economics, Validation) {
   core::CostModel model;
   model.annual_attack_probability = 1.5;
   EXPECT_THROW((void)core::annual_cost(five_designs()[0], model), std::invalid_argument);
-  EXPECT_THROW((void)core::cheapest_design({}, core::CostModel{}), std::invalid_argument);
+  EXPECT_THROW((void)core::cheapest_design(std::vector<core::EvalReport>{}, core::CostModel{}),
+               std::invalid_argument);
 }
 
 TEST(Economics, BreachRiskScalesWithAttackProbability) {

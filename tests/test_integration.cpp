@@ -8,7 +8,7 @@
 #include "patchsec/avail/network_srn.hpp"
 #include "patchsec/avail/server_srn.hpp"
 #include "patchsec/core/decision.hpp"
-#include "patchsec/core/evaluation.hpp"
+#include "patchsec/core/session.hpp"
 #include "patchsec/petri/reachability.hpp"
 #include "patchsec/sim/srn_simulator.hpp"
 
@@ -86,9 +86,9 @@ TEST(Integration, TwoStateAbstractionMatchesDetailedServiceDown) {
 
 TEST(Integration, FullPipelineStability) {
   // Evaluating twice must give identical results (pure functions of inputs).
-  const core::Evaluator ev = core::Evaluator::paper_case_study();
-  const auto a = ev.evaluate(ent::example_network_design());
-  const auto b = ev.evaluate(ent::example_network_design());
+  const core::Session session(core::Scenario::paper_case_study());
+  const auto a = session.evaluate(ent::example_network_design());
+  const auto b = session.evaluate(ent::example_network_design());
   EXPECT_DOUBLE_EQ(a.coa, b.coa);
   EXPECT_DOUBLE_EQ(a.after_patch.attack_success_probability,
                    b.after_patch.attack_success_probability);
@@ -99,8 +99,8 @@ TEST(Integration, SecurityAvailabilityTradeoffExists) {
   // The paper's headline: redundancy designs that raise COA (other than DNS)
   // also raise after-patch ASP — high security and high availability cannot
   // both be maximized.
-  const core::Evaluator ev = core::Evaluator::paper_case_study();
-  const auto evals = ev.evaluate_all(ent::paper_designs());
+  const core::Session session(core::Scenario::paper_case_study());
+  const auto evals = session.evaluate_all();
   const auto& base = evals[0];
   for (std::size_t i = 2; i < evals.size(); ++i) {  // web/app/db redundancy
     EXPECT_GT(evals[i].coa, base.coa);
@@ -114,11 +114,11 @@ TEST(Integration, SecurityAvailabilityTradeoffExists) {
 }
 
 TEST(Integration, HeterogeneousPatchIntervalEvaluators) {
-  // Building evaluators at different schedules is independent and monotone:
-  // the faster the patch cadence, the lower the COA.
-  const core::Evaluator monthly = core::Evaluator::paper_case_study(720.0);
-  const core::Evaluator weekly = core::Evaluator::paper_case_study(168.0);
-  const double coa_m = monthly.evaluate(ent::example_network_design()).coa;
-  const double coa_w = weekly.evaluate(ent::example_network_design()).coa;
+  // One session can evaluate under different schedules; the result is
+  // independent per cadence and monotone: the faster the patch cadence, the
+  // lower the COA.
+  const core::Session session(core::Scenario::paper_case_study());
+  const double coa_m = session.evaluate(ent::example_network_design(), 720.0).coa;
+  const double coa_w = session.evaluate(ent::example_network_design(), 168.0).coa;
   EXPECT_GT(coa_m, coa_w);
 }

@@ -131,7 +131,12 @@ TEST(Sensitivity, StepValidation) {
 // ---------- JSON report --------------------------------------------------------------
 
 TEST(JsonReport, WellFormedAndComplete) {
-  const auto evals = core::Evaluator::paper_case_study().evaluate_all(ent::paper_designs());
+  const core::Session session(core::Scenario::paper_case_study());
+  const std::vector<core::DesignEvaluation> evals = [&] {
+    std::vector<core::DesignEvaluation> out;
+    for (const core::EvalReport& r : session.evaluate_all()) out.push_back(r.metrics());
+    return out;
+  }();
   std::ostringstream out;
   core::write_json(out, evals);
   const std::string json = out.str();

@@ -8,7 +8,7 @@
 #include <random>
 
 #include "patchsec/avail/network_srn.hpp"
-#include "patchsec/core/evaluation.hpp"
+#include "patchsec/core/session.hpp"
 #include "patchsec/linalg/steady_state.hpp"
 #include "patchsec/petri/reachability.hpp"
 #include "patchsec/sim/srn_simulator.hpp"
@@ -151,7 +151,7 @@ TEST(Monotonicity, CoaStrictlyIncreasesWithInterval) {
 
 TEST(Monotonicity, AspNeverIncreasesWithPatching) {
   // For every design: after-patch metrics <= before-patch metrics.
-  const auto evals = core::Evaluator::paper_case_study().evaluate_all(ent::paper_designs());
+  const auto evals = core::Session(core::Scenario::paper_case_study()).evaluate_all();
   for (const auto& e : evals) {
     EXPECT_LE(e.after_patch.attack_success_probability,
               e.before_patch.attack_success_probability);
@@ -164,12 +164,12 @@ TEST(Monotonicity, AspNeverIncreasesWithPatching) {
 }
 
 TEST(Monotonicity, MoreRedundancyNeverReducesAttackSurface) {
-  const core::Evaluator ev = core::Evaluator::paper_case_study();
-  const auto base = ev.evaluate(ent::RedundancyDesign{{1, 1, 1, 1}});
+  const core::Session session(core::Scenario::paper_case_study());
+  const auto base = session.evaluate(ent::RedundancyDesign{{1, 1, 1, 1}});
   for (unsigned extra_role = 0; extra_role < 4; ++extra_role) {
     ent::RedundancyDesign d{{1, 1, 1, 1}};
     d.counts[extra_role] = 2;
-    const auto e = ev.evaluate(d);
+    const auto e = session.evaluate(d);
     EXPECT_GE(e.before_patch.exploitable_vulnerabilities,
               base.before_patch.exploitable_vulnerabilities);
     EXPECT_GE(e.before_patch.attack_paths, base.before_patch.attack_paths);

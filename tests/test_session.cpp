@@ -1,0 +1,379 @@
+// Tests for the Scenario/Session evaluation API: builder defaults and
+// validation, end-to-end EngineOptions plumbing (observable as
+// iteration-count changes reported from linalg::solve_steady_state), solver
+// diagnostics in EvalReport, schedule sweeps, parallel batches and the
+// deprecated-Evaluator shim equivalence.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "patchsec/core/campaign.hpp"
+#include "patchsec/core/report.hpp"
+#include "patchsec/core/sensitivity.hpp"
+#include "patchsec/core/session.hpp"
+
+// The shim-equivalence tests below intentionally exercise the deprecated API.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#elif defined(_MSC_VER)
+#pragma warning(disable : 4996)
+#endif
+#include "patchsec/core/evaluation.hpp"
+
+namespace core = patchsec::core;
+namespace ent = patchsec::enterprise;
+namespace linalg = patchsec::linalg;
+
+// ---------- Scenario builder ----------------------------------------------------
+
+TEST(Scenario, DefaultsMatchThePaperConventions) {
+  const core::Scenario s;
+  EXPECT_TRUE(s.specs().empty());
+  EXPECT_TRUE(s.designs().empty());
+  ASSERT_EQ(s.patch_intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.patch_interval_hours(), 720.0);  // monthly
+  EXPECT_FALSE(s.engine().parallel);
+  EXPECT_FALSE(s.engine().throw_on_divergence);
+  EXPECT_EQ(s.engine().steady_state.method, linalg::SteadyStateMethod::kAuto);
+}
+
+TEST(Scenario, PaperCaseStudyCarriesTheFullCaseStudy) {
+  const core::Scenario s = core::Scenario::paper_case_study();
+  EXPECT_EQ(s.specs().size(), 4u);
+  EXPECT_EQ(s.designs().size(), 5u);  // the five Sec. IV candidates
+  EXPECT_DOUBLE_EQ(s.patch_interval_hours(), 720.0);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Scenario, BuilderIsFluentAndValueLike) {
+  core::Scenario a = core::Scenario::paper_case_study().with_patch_interval(168.0);
+  const core::Scenario b = a;  // plain value: copies are independent
+  a.with_patch_interval(24.0);
+  EXPECT_DOUBLE_EQ(a.patch_interval_hours(), 24.0);
+  EXPECT_DOUBLE_EQ(b.patch_interval_hours(), 168.0);
+}
+
+TEST(Scenario, ValidationRejectsEmptySpecs) {
+  EXPECT_THROW(core::Scenario().validate(), std::invalid_argument);
+  EXPECT_THROW(core::Session{core::Scenario()}, std::invalid_argument);
+}
+
+TEST(Scenario, EmptyScheduleAccessorThrowsInsteadOfUb) {
+  const core::Scenario s = core::Scenario::paper_case_study().with_patch_schedule({});
+  EXPECT_THROW((void)s.patch_interval_hours(), std::logic_error);
+}
+
+TEST(Scenario, ValidationRejectsBadSchedules) {
+  EXPECT_THROW(core::Scenario::paper_case_study().with_patch_schedule({}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(core::Scenario::paper_case_study().with_patch_interval(0.0).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(core::Scenario::paper_case_study().with_patch_schedule({720.0, -1.0}).validate(),
+               std::invalid_argument);
+}
+
+TEST(Scenario, ValidationRejectsDesignsWithoutSpecs) {
+  // A design deploying a WEB tier while only a DB spec exists.
+  core::Scenario s = core::Scenario()
+                         .with_spec(ent::ServerRole::kDb,
+                                    ent::paper_server_specs().at(ent::ServerRole::kDb))
+                         .with_design(ent::RedundancyDesign{{0, 1, 0, 1}});
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+
+  EXPECT_THROW(
+      core::Scenario::paper_case_study().with_design(ent::RedundancyDesign{{0, 0, 0, 0}}).validate(),
+      std::invalid_argument);
+}
+
+// ---------- EngineOptions plumbing ----------------------------------------------
+
+TEST(EngineOptions, ToleranceReachesTheSteadyStateSolver) {
+  // A looser tolerance must stop the (identical) Gauss-Seidel iteration
+  // earlier: the reported iteration counts prove the options reach
+  // linalg::solve_steady_state through core -> avail -> petri -> ctmc.
+  core::EngineOptions tight;
+  tight.steady_state.method = linalg::SteadyStateMethod::kGaussSeidel;
+  tight.steady_state.tolerance = 1e-12;
+  core::EngineOptions loose = tight;
+  loose.steady_state.tolerance = 1e-6;
+
+  const core::Session tight_session(core::Scenario::paper_case_study().with_engine(tight));
+  const core::Session loose_session(core::Scenario::paper_case_study().with_engine(loose));
+
+  const core::EvalReport a = tight_session.evaluate(ent::example_network_design());
+  const core::EvalReport b = loose_session.evaluate(ent::example_network_design());
+  EXPECT_TRUE(a.converged());
+  EXPECT_TRUE(b.converged());
+  EXPECT_LT(b.availability_diagnostics.solver_iterations,
+            a.availability_diagnostics.solver_iterations);
+  // The lower layer sees the options too.
+  for (const auto& [role, diag] : b.aggregation_diagnostics) {
+    EXPECT_LT(diag.solver_iterations,
+              a.aggregation_diagnostics.at(role).solver_iterations)
+        << ent::to_string(role);
+  }
+  // Both tolerances still reproduce the paper's COA.
+  EXPECT_NEAR(a.coa, 0.99707, 5e-6);
+  EXPECT_NEAR(b.coa, 0.99707, 1e-3);
+}
+
+TEST(EngineOptions, MethodSelectionReachesTheSteadyStateSolver) {
+  // Power iteration on these stiff generators needs far more iterations than
+  // Gauss-Seidel; observing that difference proves method selection lands.
+  core::EngineOptions gauss;
+  gauss.steady_state.method = linalg::SteadyStateMethod::kGaussSeidel;
+  core::EngineOptions power;
+  power.steady_state.method = linalg::SteadyStateMethod::kPower;
+  power.steady_state.tolerance = 1e-8;  // keep the power run bounded
+
+  const core::Session gauss_session(core::Scenario::paper_case_study().with_engine(gauss));
+  const core::Session power_session(core::Scenario::paper_case_study().with_engine(power));
+
+  const auto g = gauss_session.evaluate(ent::example_network_design());
+  const auto p = power_session.evaluate(ent::example_network_design());
+  EXPECT_GT(p.total_solver_iterations(), g.total_solver_iterations());
+}
+
+TEST(EngineOptions, ReachabilityLimitsReachTheExplorer) {
+  core::EngineOptions engine;
+  engine.reachability.max_tangible_markings = 2;  // absurdly small
+  const core::Session session(core::Scenario::paper_case_study().with_engine(engine));
+  EXPECT_THROW((void)session.evaluate(ent::example_network_design()), std::runtime_error);
+}
+
+TEST(EngineOptions, DivergenceIsSurfacedNotThrownByDefault) {
+  // Starve the solver: one iteration cannot converge, yet evaluation
+  // succeeds and the report says so (the SrnAnalyzer bugfix surfaced).
+  core::EngineOptions starved;
+  starved.steady_state.max_iterations = 1;
+  const core::Session session(core::Scenario::paper_case_study().with_engine(starved));
+  const core::EvalReport report = session.evaluate(ent::example_network_design());
+  EXPECT_FALSE(report.converged());
+  EXPECT_FALSE(report.availability_diagnostics.converged);
+  EXPECT_GT(report.availability_diagnostics.residual, 0.0);
+}
+
+TEST(EngineOptions, DivergenceThrowsWhenAskedTo) {
+  core::EngineOptions strict;
+  strict.steady_state.max_iterations = 1;
+  strict.throw_on_divergence = true;
+  const core::Session session(core::Scenario::paper_case_study().with_engine(strict));
+  EXPECT_THROW((void)session.evaluate(ent::example_network_design()), std::runtime_error);
+}
+
+// ---------- EvalReport diagnostics ----------------------------------------------
+
+TEST(EvalReport, CarriesNonTrivialDiagnostics) {
+  const core::Session session(core::Scenario::paper_case_study());
+  const core::EvalReport r = session.evaluate(ent::example_network_design());
+
+  EXPECT_TRUE(r.converged());
+  // Upper layer: (1+1)(2+1)(2+1)(1+1) = 36 tangible states for 1/2/2/1.
+  EXPECT_EQ(r.availability_diagnostics.tangible_states, 36u);
+  EXPECT_GT(r.availability_diagnostics.transitions, 0u);
+  EXPECT_GT(r.availability_diagnostics.solver_iterations, 0u);
+  EXPECT_LT(r.availability_diagnostics.residual, 1e-6);
+  EXPECT_GE(r.wall_time_seconds, 0.0);
+
+  // Lower layer: one diagnostics entry per spec'd role, each a real solve.
+  ASSERT_EQ(r.aggregation_diagnostics.size(), 4u);
+  for (const auto& [role, diag] : r.aggregation_diagnostics) {
+    EXPECT_GT(diag.tangible_states, 1u) << ent::to_string(role);
+    EXPECT_GT(diag.solver_iterations, 0u) << ent::to_string(role);
+    EXPECT_TRUE(diag.converged) << ent::to_string(role);
+  }
+  EXPECT_GT(r.total_solver_iterations(), r.availability_diagnostics.solver_iterations);
+}
+
+TEST(Session, ExplicitCadenceMustBePositive) {
+  // The memoization cache is keyed by double: NaN or non-positive keys must
+  // be rejected up front (NaN would silently alias an arbitrary cache entry).
+  const core::Session session(core::Scenario::paper_case_study());
+  EXPECT_THROW((void)session.aggregated_rates(0.0), std::invalid_argument);
+  EXPECT_THROW((void)session.aggregated_rates(-720.0), std::invalid_argument);
+  EXPECT_THROW((void)session.evaluate(ent::example_network_design(), std::nan("")),
+               std::invalid_argument);
+}
+
+TEST(Session, MemoizesAggregationsPerRoleAndInterval) {
+  const core::Session session(core::Scenario::paper_case_study());
+  const auto& first = session.aggregated_rates(720.0);
+  const auto& second = session.aggregated_rates(720.0);
+  EXPECT_EQ(&first, &second);  // same cached object
+  const auto& weekly = session.aggregated_rates(168.0);
+  EXPECT_NE(&first, &weekly);
+  // Faster cadence -> higher equivalent patch rate.
+  EXPECT_GT(weekly.at(ent::ServerRole::kApp).lambda_eq,
+            first.at(ent::ServerRole::kApp).lambda_eq);
+}
+
+TEST(Session, ScheduleSweepOrdersScheduleMajor) {
+  const core::Scenario scenario = core::Scenario::paper_case_study()
+                                      .with_designs({ent::RedundancyDesign{{1, 1, 1, 1}},
+                                                     ent::RedundancyDesign{{1, 1, 2, 1}}})
+                                      .with_patch_schedule({720.0, 168.0});
+  const core::Session session(scenario);
+  const auto reports = session.evaluate_all();
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_DOUBLE_EQ(reports[0].patch_interval_hours, 720.0);
+  EXPECT_DOUBLE_EQ(reports[1].patch_interval_hours, 720.0);
+  EXPECT_DOUBLE_EQ(reports[2].patch_interval_hours, 168.0);
+  EXPECT_DOUBLE_EQ(reports[3].patch_interval_hours, 168.0);
+  // Monthly beats weekly on COA for the same design.
+  EXPECT_GT(reports[0].coa, reports[2].coa);
+  EXPECT_GT(reports[1].coa, reports[3].coa);
+}
+
+TEST(Session, ParallelBatchMatchesSerialBatch) {
+  core::EngineOptions parallel;
+  parallel.parallel = true;
+  parallel.threads = 4;
+  const core::Session serial(core::Scenario::paper_case_study());
+  const core::Session threaded(core::Scenario::paper_case_study().with_engine(parallel));
+
+  const auto a = serial.evaluate_all();
+  const auto b = threaded.evaluate_all();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].design, b[i].design);
+    EXPECT_DOUBLE_EQ(a[i].coa, b[i].coa);
+    EXPECT_DOUBLE_EQ(a[i].after_patch.attack_success_probability,
+                     b[i].after_patch.attack_success_probability);
+  }
+}
+
+TEST(Session, ParallelScheduleSweepMatchesSerial) {
+  // Multi-cadence + parallel exercises the worker-pool HARM priming (every
+  // design appears in two jobs).
+  core::EngineOptions parallel;
+  parallel.parallel = true;
+  parallel.threads = 4;
+  const core::Scenario base = core::Scenario::paper_case_study().with_patch_schedule({720.0, 168.0});
+  const core::Session serial(base);
+  const core::Session threaded(core::Scenario(base).with_engine(parallel));
+
+  const auto a = serial.evaluate_all();
+  const auto b = threaded.evaluate_all();
+  ASSERT_EQ(a.size(), 10u);
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].design, b[i].design);
+    EXPECT_DOUBLE_EQ(a[i].patch_interval_hours, b[i].patch_interval_hours);
+    EXPECT_DOUBLE_EQ(a[i].coa, b[i].coa);
+  }
+}
+
+// ---------- satellite APIs on top of the Session --------------------------------
+
+TEST(Report, EvalReportJsonCarriesDiagnostics) {
+  const core::Session session(core::Scenario::paper_case_study());
+  const auto reports = session.evaluate_all();
+  std::ostringstream out;
+  core::write_json(out, reports);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"patch_interval_hours\":720"), std::string::npos);
+  EXPECT_NE(json.find("\"diagnostics\":{\"converged\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"availability\":"), std::string::npos);
+  EXPECT_NE(json.find("\"aggregation\":{\"DNS\":"), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\":"), std::string::npos);
+  EXPECT_NE(json.find("\"residual\":"), std::string::npos);
+  // Structurally balanced.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['), std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(SessionOverloads, SensitivityMatchesLegacyForm) {
+  const core::Session session(core::Scenario::paper_case_study());
+  const auto via_session = core::coa_sensitivity(session, ent::example_network_design());
+  const auto legacy =
+      core::coa_sensitivity(ent::example_network_design(), session.aggregated_rates());
+  ASSERT_EQ(via_session.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(via_session[i].parameter, legacy[i].parameter);
+    EXPECT_DOUBLE_EQ(via_session[i].base_value, legacy[i].base_value);
+    EXPECT_DOUBLE_EQ(via_session[i].elasticity, legacy[i].elasticity);
+  }
+}
+
+TEST(SessionOverloads, CampaignMatchesLegacyForm) {
+  const core::Session session(core::Scenario::paper_case_study());
+  const auto stages = core::severity_banded_campaign();
+  const auto via_session = core::evaluate_campaign(session, ent::example_network_design(), stages);
+  const auto legacy =
+      core::evaluate_campaign(ent::example_network_design(), ent::paper_server_specs(),
+                              ent::ReachabilityPolicy::three_tier(), stages);
+  ASSERT_EQ(via_session.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(via_session[i].stage, legacy[i].stage);
+    EXPECT_EQ(via_session[i].vulnerabilities_patched, legacy[i].vulnerabilities_patched);
+    EXPECT_DOUBLE_EQ(via_session[i].coa, legacy[i].coa);
+    EXPECT_DOUBLE_EQ(via_session[i].security.attack_success_probability,
+                     legacy[i].security.attack_success_probability);
+  }
+}
+
+TEST(SessionOverloads, EscalateStarvedSolvesInsteadOfUsingThem) {
+  // Campaign stages and elasticities carry no diagnostics, so under a
+  // starved solver their Session overloads must throw even though the
+  // session itself is configured to surface divergence quietly.
+  core::EngineOptions starved;
+  starved.steady_state.max_iterations = 1;
+  const core::Session session(core::Scenario::paper_case_study().with_engine(starved));
+  EXPECT_THROW((void)core::coa_sensitivity(session, ent::example_network_design()),
+               std::runtime_error);
+  EXPECT_THROW((void)core::evaluate_campaign(session, ent::example_network_design(),
+                                             core::severity_banded_campaign()),
+               std::runtime_error);
+}
+
+// ---------- deprecated shim equivalence -----------------------------------------
+
+TEST(EvaluatorShim, PaperCaseStudyNumbersIdenticalToSession) {
+  const core::Evaluator shim = core::Evaluator::paper_case_study();
+  const core::Session session(core::Scenario::paper_case_study());
+
+  const auto old_evals = shim.evaluate_all(ent::paper_designs());
+  const auto new_reports = session.evaluate_all();
+  ASSERT_EQ(old_evals.size(), new_reports.size());
+  for (std::size_t i = 0; i < old_evals.size(); ++i) {
+    EXPECT_EQ(old_evals[i].design, new_reports[i].design);
+    EXPECT_DOUBLE_EQ(old_evals[i].coa, new_reports[i].coa);
+    EXPECT_DOUBLE_EQ(old_evals[i].before_patch.attack_success_probability,
+                     new_reports[i].before_patch.attack_success_probability);
+    EXPECT_DOUBLE_EQ(old_evals[i].after_patch.attack_success_probability,
+                     new_reports[i].after_patch.attack_success_probability);
+    EXPECT_DOUBLE_EQ(old_evals[i].before_patch.attack_impact,
+                     new_reports[i].before_patch.attack_impact);
+    EXPECT_EQ(old_evals[i].after_patch.exploitable_vulnerabilities,
+              new_reports[i].after_patch.exploitable_vulnerabilities);
+    EXPECT_EQ(old_evals[i].after_patch.attack_paths, new_reports[i].after_patch.attack_paths);
+    EXPECT_EQ(old_evals[i].after_patch.entry_points, new_reports[i].after_patch.entry_points);
+  }
+
+  // Table V rates agree too.
+  const auto& old_rates = shim.aggregated_rates();
+  const auto& new_rates = session.aggregated_rates();
+  ASSERT_EQ(old_rates.size(), new_rates.size());
+  for (const auto& [role, r] : old_rates) {
+    EXPECT_DOUBLE_EQ(r.lambda_eq, new_rates.at(role).lambda_eq) << ent::to_string(role);
+    EXPECT_DOUBLE_EQ(r.mu_eq, new_rates.at(role).mu_eq) << ent::to_string(role);
+  }
+}
+
+TEST(EvaluatorShim, AccessorsForwardToTheScenario) {
+  const core::Evaluator shim = core::Evaluator::paper_case_study(168.0);
+  EXPECT_DOUBLE_EQ(shim.patch_interval_hours(), 168.0);
+  EXPECT_EQ(shim.specs().size(), 4u);
+}
+
+TEST(EvaluatorShim, StaysCopyableLikeTheOriginal) {
+  const core::Evaluator shim = core::Evaluator::paper_case_study(168.0);
+  const core::Evaluator copy = shim;  // the original Evaluator was copyable
+  EXPECT_DOUBLE_EQ(copy.patch_interval_hours(), 168.0);
+  EXPECT_EQ(&copy.aggregated_rates(), &shim.aggregated_rates());  // shared session
+}

@@ -1,9 +1,9 @@
 // Build/link smoke test across all modules.
 #include <gtest/gtest.h>
 
-#include "patchsec/core/evaluation.hpp"
+#include "patchsec/core/session.hpp"
 
 TEST(Smoke, PaperCaseStudyConstructs) {
-  const auto evaluator = patchsec::core::Evaluator::paper_case_study();
-  EXPECT_EQ(evaluator.aggregated_rates().size(), 4u);
+  const patchsec::core::Session session(patchsec::core::Scenario::paper_case_study());
+  EXPECT_EQ(session.aggregated_rates().size(), 4u);
 }
