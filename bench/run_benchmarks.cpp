@@ -1,0 +1,222 @@
+// Standalone perf-tracking driver: runs the solver-core macro benchmarks and
+// emits a machine-readable BENCH_RESULTS.json so the bench trajectory is
+// comparable across PRs (schema documented in bench/README.md).
+//
+// Unlike the bench_* binaries this needs no Google Benchmark: each scenario
+// is repeated a fixed number of times, the best and mean wall times are
+// recorded alongside the model/solver diagnostics (state counts, CTMC
+// transitions, solver iterations, converged flags) of the work performed.
+//
+//   run_benchmarks [--quick] [--reps N] [--output PATH]
+//
+//   --quick     3 repetitions (CI smoke); default is 15
+//   --reps N    explicit repetition count
+//   --output    output path, default BENCH_RESULTS.json in the CWD
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <string>
+#include <vector>
+
+#include "patchsec/avail/network_srn.hpp"
+#include "patchsec/core/session.hpp"
+#include "patchsec/linalg/stationary_solver.hpp"
+#include "patchsec/petri/reachability.hpp"
+
+namespace {
+
+namespace av = patchsec::avail;
+namespace core = patchsec::core;
+namespace ent = patchsec::enterprise;
+namespace la = patchsec::linalg;
+namespace pt = patchsec::petri;
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchResult {
+  std::string name;
+  std::size_t repetitions = 0;
+  double wall_seconds_best = 0.0;
+  double wall_seconds_mean = 0.0;
+  std::size_t tangible_states = 0;
+  std::size_t ctmc_transitions = 0;
+  std::size_t solver_iterations = 0;
+  bool converged = true;
+};
+
+struct Sample {
+  std::size_t tangible_states = 0;
+  std::size_t ctmc_transitions = 0;
+  std::size_t solver_iterations = 0;
+  bool converged = true;
+};
+
+// Run `body` `reps` times; the body returns the diagnostics of the work it
+// performed (recorded from the last repetition).
+BenchResult run_bench(const std::string& name, std::size_t reps,
+                      const std::function<Sample()>& body) {
+  BenchResult result;
+  result.name = name;
+  result.repetitions = reps;
+  double total = 0.0;
+  double best = 0.0;
+  Sample sample;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    sample = body();
+    const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    total += elapsed;
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  result.wall_seconds_best = best;
+  result.wall_seconds_mean = total / static_cast<double>(reps);
+  result.tangible_states = sample.tangible_states;
+  result.ctmc_transitions = sample.ctmc_transitions;
+  result.solver_iterations = sample.solver_iterations;
+  result.converged = sample.converged;
+  std::printf("%-32s best %10.6fs  mean %10.6fs  states %7zu  iters %6zu%s\n",
+              result.name.c_str(), result.wall_seconds_best, result.wall_seconds_mean,
+              result.tangible_states, result.solver_iterations,
+              result.converged ? "" : "  [NOT CONVERGED]");
+  return result;
+}
+
+Sample sample_from(const core::EvalReport& report) {
+  Sample s;
+  s.tangible_states = report.availability_diagnostics.tangible_states;
+  s.ctmc_transitions = report.availability_diagnostics.transitions;
+  s.solver_iterations = report.total_solver_iterations();
+  s.converged = report.converged();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t reps = 15;
+  std::string output = "BENCH_RESULTS.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      reps = 3;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      output = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--reps N] [--output PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (reps == 0) reps = 1;
+
+  std::vector<BenchResult> results;
+
+  // Full evaluate (HARM + memoized lower layer + upper-layer COA) per design
+  // scale, fresh session each repetition with the aggregation pre-warmed so
+  // the measurement matches bench_ablation_scale's BM_EvaluateUniformRedundancy.
+  for (unsigned k : {2u, 4u, 6u}) {
+    const ent::RedundancyDesign design{{k, k, k, k}};
+    results.push_back(
+        run_bench("evaluate_uniform_k" + std::to_string(k), reps, [&design]() -> Sample {
+          const core::Session session(core::Scenario::paper_case_study());
+          (void)session.aggregated_rates();
+          return sample_from(session.evaluate(design));
+        }));
+  }
+
+  // Reachability exploration alone at the largest configuration.
+  {
+    const core::Session session(core::Scenario::paper_case_study());
+    const av::NetworkSrn net = av::build_network_srn(ent::RedundancyDesign{{6, 6, 6, 6}},
+                                                     session.aggregated_rates());
+    results.push_back(run_bench("reachability_network_k6", reps, [&net]() -> Sample {
+      const pt::ReachabilityGraph g = pt::build_reachability_graph(net.model);
+      Sample s;
+      s.tangible_states = g.tangible_count();
+      s.ctmc_transitions = g.chain.transitions().size();
+      return s;
+    }));
+
+    // Steady-state solve alone: cold (fresh workspace per solve, includes
+    // the structure build) vs warm (workspace reused across repetitions —
+    // the Session schedule-sweep path).
+    const la::CsrMatrix q = pt::build_reachability_graph(net.model).chain.generator();
+    results.push_back(run_bench("steady_state_k6_cold", reps, [&q]() -> Sample {
+      const la::SteadyStateResult ss = la::solve_steady_state(q);
+      Sample s;
+      s.tangible_states = q.rows();
+      s.solver_iterations = ss.iterations;
+      s.converged = ss.converged;
+      return s;
+    }));
+    la::StationarySolver workspace;
+    results.push_back(run_bench("steady_state_k6_warm", reps, [&q, &workspace]() -> Sample {
+      const la::SteadyStateResult ss = workspace.solve(q);
+      Sample s;
+      s.tangible_states = q.rows();
+      s.solver_iterations = ss.iterations;
+      s.converged = ss.converged;
+      return s;
+    }));
+  }
+
+  // Lower-layer aggregation (server SRN build + solve, all roles).
+  results.push_back(run_bench("server_srn_aggregation", reps, []() -> Sample {
+    const core::Session session(core::Scenario::paper_case_study());
+    (void)session.aggregated_rates();
+    Sample s;
+    for (const auto& [role, d] : session.aggregation_diagnostics(720.0)) {
+      s.tangible_states += d.tangible_states;
+      s.ctmc_transitions += d.transitions;
+      s.solver_iterations += d.solver_iterations;
+      s.converged = s.converged && d.converged;
+    }
+    return s;
+  }));
+
+  // Schedule sweep: the five paper designs under six cadences through one
+  // Session (memoization + per-thread solver workspace reuse).
+  results.push_back(run_bench("schedule_sweep_5x6", reps, []() -> Sample {
+    const core::Scenario scenario =
+        core::Scenario::paper_case_study().with_patch_schedule({168, 336, 504, 720, 1440, 2160});
+    const core::Session session(scenario);
+    const std::vector<core::EvalReport> reports = session.evaluate_all();
+    Sample s;
+    for (const core::EvalReport& r : reports) {
+      s.solver_iterations += r.total_solver_iterations();
+      s.converged = s.converged && r.converged();
+    }
+    s.tangible_states = reports.back().availability_diagnostics.tangible_states;
+    s.ctmc_transitions = reports.back().availability_diagnostics.transitions;
+    return s;
+  }));
+
+  std::ofstream out(output);
+  if (!out) {
+    std::fprintf(stderr, "run_benchmarks: cannot write %s\n", output.c_str());
+    return 1;
+  }
+  out << "{\n  \"schema_version\": 1,\n  \"unit\": \"seconds\",\n  \"repetitions\": " << reps
+      << ",\n  \"benches\": [\n";
+  out << std::setprecision(9);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"repetitions\": " << r.repetitions
+        << ", \"wall_seconds_best\": " << r.wall_seconds_best
+        << ", \"wall_seconds_mean\": " << r.wall_seconds_mean
+        << ", \"tangible_states\": " << r.tangible_states
+        << ", \"ctmc_transitions\": " << r.ctmc_transitions
+        << ", \"solver_iterations\": " << r.solver_iterations
+        << ", \"converged\": " << (r.converged ? "true" : "false") << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", output.c_str());
+  return 0;
+}

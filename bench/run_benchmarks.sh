@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Build (Release) and run the perf-tracking driver, leaving BENCH_RESULTS.json
+# at the repository root so the numbers are diffable across PRs.
+#
+#   bench/run_benchmarks.sh              # full repetition budget
+#   bench/run_benchmarks.sh --quick      # CI smoke budget
+#   bench/run_benchmarks.sh --reps 25    # explicit budget
+#
+# Extra arguments are forwarded to the driver verbatim.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="${BENCH_BUILD_DIR:-$repo_root/build-bench}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DPATCHSEC_BUILD_BENCH=ON \
+  -DPATCHSEC_BUILD_TESTS=OFF
+cmake --build "$build_dir" --target run_benchmarks_bin -j "$(nproc 2>/dev/null || echo 2)"
+
+cd "$repo_root"
+exec "$build_dir/bench/run_benchmarks" "$@"

@@ -50,10 +50,13 @@ struct ServerAggregation {
 /// Aggregate under explicit policy options AND an explicit solver
 /// configuration — the fully-threaded form used by core::Session.  With
 /// engine.throw_on_divergence == false a non-converged steady-state solve is
-/// reported through the returned diagnostics instead of thrown.
-[[nodiscard]] ServerAggregation aggregate_server_detailed(const enterprise::ServerSpec& spec,
-                                                          const ServerSrnOptions& options,
-                                                          const petri::AnalyzerOptions& engine);
+/// reported through the returned diagnostics instead of thrown.  A non-null
+/// `workspace` reuses the caller's linalg::StationarySolver across solves
+/// (core::Session passes one per worker thread, so schedule sweeps re-solve
+/// the same-structure server SRN without rebuilding solver state).
+[[nodiscard]] ServerAggregation aggregate_server_detailed(
+    const enterprise::ServerSpec& spec, const ServerSrnOptions& options,
+    const petri::AnalyzerOptions& engine, linalg::StationarySolver* workspace = nullptr);
 
 /// Closed-form approximation of mu_eq ignoring failures (the patch phases in
 /// sequence): 1 / (1/alpha_svc + 1/alpha_os + 1/beta_os + 1/beta_svc).

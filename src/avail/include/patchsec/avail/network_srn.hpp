@@ -59,11 +59,14 @@ struct CoaEvaluation {
 /// COA under an explicit solver configuration — the fully-threaded form used
 /// by core::Session.  With engine.throw_on_divergence == false a
 /// non-converged steady-state solve is reported through the returned
-/// diagnostics instead of thrown.
+/// diagnostics instead of thrown.  A non-null `workspace` reuses the caller's
+/// linalg::StationarySolver across solves: re-evaluating the same design at
+/// another cadence (or sweeping same-shape designs) hits the cached transpose
+/// structure instead of rebuilding it.
 [[nodiscard]] CoaEvaluation capacity_oriented_availability_detailed(
     const enterprise::RedundancyDesign& design,
     const std::map<enterprise::ServerRole, AggregatedRates>& rates,
-    const petri::AnalyzerOptions& engine);
+    const petri::AnalyzerOptions& engine, linalg::StationarySolver* workspace = nullptr);
 
 /// Closed-form cross-check using independent birth-death chains per tier
 /// (valid because tiers are independent in the upper model).

@@ -20,10 +20,11 @@ AggregatedRates aggregate_server(const enterprise::ServerSpec& spec,
 
 ServerAggregation aggregate_server_detailed(const enterprise::ServerSpec& spec,
                                             const ServerSrnOptions& options,
-                                            const petri::AnalyzerOptions& engine) {
+                                            const petri::AnalyzerOptions& engine,
+                                            linalg::StationarySolver* workspace) {
   const double patch_interval_hours = options.patch_interval_hours;
   const ServerSrn srn = build_server_srn(spec, options);
-  const petri::SrnAnalyzer analyzer(srn.model, engine);
+  const petri::SrnAnalyzer analyzer(srn.model, engine, workspace);
 
   AggregatedRates rates;
   rates.p_patch_down =

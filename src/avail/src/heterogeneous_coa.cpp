@@ -35,7 +35,10 @@ HeterogeneousNetworkSrn build_heterogeneous_srn(const std::vector<InstanceRates>
     if (!(lambda > 0.0) || !(mu > 0.0)) {
       throw std::invalid_argument("heterogeneous srn: rates must be positive");
     }
-    const std::string base = "s" + std::to_string(i);
+    // Built via append (not operator+ on a temporary) to dodge a GCC 12
+    // -Wrestrict false positive at -O3.
+    std::string base = "s";
+    base += std::to_string(i);
     const petri::PlaceId up = net.model.add_place("P" + base + "up", 1);
     const petri::PlaceId down = net.model.add_place("P" + base + "pd", 0);
     const petri::TransitionId td = net.model.add_timed_transition("T" + base + "d", lambda);

@@ -110,9 +110,9 @@ double capacity_oriented_availability(
 CoaEvaluation capacity_oriented_availability_detailed(
     const enterprise::RedundancyDesign& design,
     const std::map<enterprise::ServerRole, AggregatedRates>& rates,
-    const petri::AnalyzerOptions& engine) {
+    const petri::AnalyzerOptions& engine, linalg::StationarySolver* workspace) {
   const NetworkSrn net = build_network_srn(design, rates);
-  const petri::SrnAnalyzer analyzer(net.model, engine);
+  const petri::SrnAnalyzer analyzer(net.model, engine, workspace);
   return CoaEvaluation{analyzer.expected_reward(net.coa_reward()), analyzer.diagnostics()};
 }
 

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "patchsec/linalg/stationary_solver.hpp"
+
 namespace patchsec::core {
 
 namespace {
@@ -18,6 +20,26 @@ double seconds_since(Clock::time_point start) {
 }
 
 using Job = std::pair<enterprise::RedundancyDesign, double>;
+
+// Solver workspaces, one pair per worker thread: every steady-state solve
+// issued by any Session on this thread reuses the cached transpose/diagonal/
+// scratch, so schedule sweeps (same SRN structure at every cadence) and
+// repeated evaluations pay the solver setup once.  The aggregation (server
+// SRN) and availability (network SRN) stages get separate workspaces —
+// StationarySolver caches a single structure, and a sweep interleaves the
+// two stages, so sharing one slot would rebuild it on every alternation.
+// Options are passed per solve, so sharing workspaces across Sessions with
+// different EngineOptions is sound; StationarySolver itself is
+// single-threaded, which thread_local guarantees here.
+linalg::StationarySolver& aggregation_workspace() {
+  static thread_local linalg::StationarySolver workspace;
+  return workspace;
+}
+
+linalg::StationarySolver& availability_workspace() {
+  static thread_local linalg::StationarySolver workspace;
+  return workspace;
+}
 
 }  // namespace
 
@@ -60,7 +82,8 @@ const Session::IntervalAggregation& Session::aggregation_for(double patch_interv
   srn_options.patch_interval_hours = patch_interval_hours;
   const petri::AnalyzerOptions engine = scenario_.engine().analyzer_options();
   for (const auto& [role, spec] : scenario_.specs()) {
-    avail::ServerAggregation server = avail::aggregate_server_detailed(spec, srn_options, engine);
+    avail::ServerAggregation server =
+        avail::aggregate_server_detailed(spec, srn_options, engine, &aggregation_workspace());
     agg.rates.emplace(role, server.rates);
     agg.diagnostics.emplace(role, server.diagnostics);
   }
@@ -182,7 +205,7 @@ EvalReport Session::evaluate(const enterprise::RedundancyDesign& design,
   report.after_patch = security.after_patch;
 
   const avail::CoaEvaluation coa = avail::capacity_oriented_availability_detailed(
-      design, agg.rates, scenario_.engine().analyzer_options());
+      design, agg.rates, scenario_.engine().analyzer_options(), &availability_workspace());
   report.coa = coa.coa;
   report.availability_diagnostics = coa.diagnostics;
   report.aggregation_diagnostics = agg.diagnostics;

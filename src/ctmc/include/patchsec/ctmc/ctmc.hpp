@@ -11,6 +11,10 @@
 #include "patchsec/linalg/csr_matrix.hpp"
 #include "patchsec/linalg/steady_state.hpp"
 
+namespace patchsec::linalg {
+class StationarySolver;
+}  // namespace patchsec::linalg
+
 namespace patchsec::ctmc {
 
 /// Index of a CTMC state.
@@ -35,6 +39,10 @@ class Ctmc {
   /// Bulk-create n unlabeled states; returns index of the first.
   StateIndex add_states(std::size_t n);
 
+  /// Pre-size the state/transition storage (the reachability generator knows
+  /// both counts up front).
+  void reserve(std::size_t states, std::size_t transitions);
+
   /// Add transition from -> to with the given positive rate.  Self loops are
   /// rejected (they are meaningless in a CTMC).
   void add_transition(StateIndex from, StateIndex to, double rate);
@@ -43,13 +51,22 @@ class Ctmc {
   [[nodiscard]] const std::string& label(StateIndex s) const { return labels_.at(s); }
   [[nodiscard]] const std::vector<RateTransition>& transitions() const noexcept { return transitions_; }
 
-  /// Infinitesimal generator Q (rows sum to zero).
+  /// Infinitesimal generator Q (rows sum to zero).  Assembled by a
+  /// counting/bucket pass over the transition list (per-row gather, small
+  /// per-row sorts, duplicate merge) directly into CSR form — no global
+  /// triplet sort.
   [[nodiscard]] linalg::CsrMatrix generator() const;
 
   /// Stationary distribution (requires an irreducible chain; the solver
   /// result carries convergence diagnostics).
   [[nodiscard]] linalg::SteadyStateResult steady_state(
       const linalg::SteadyStateOptions& options = {}) const;
+
+  /// Stationary distribution computed through a caller-owned solver
+  /// workspace, so repeated solves of same-structure chains reuse the cached
+  /// transpose/diagonal/scratch (see linalg::StationarySolver).
+  [[nodiscard]] linalg::SteadyStateResult steady_state(
+      linalg::StationarySolver& workspace, const linalg::SteadyStateOptions& options) const;
 
   /// Expected steady-state reward  sum_s pi_s * reward_s.  `rewards` must
   /// have one entry per state.

@@ -1,7 +1,10 @@
 #include "patchsec/ctmc/ctmc.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "patchsec/linalg/stationary_solver.hpp"
 #include "patchsec/linalg/vector_ops.hpp"
 
 namespace patchsec::ctmc {
@@ -17,6 +20,11 @@ StateIndex Ctmc::add_states(std::size_t n) {
   return first;
 }
 
+void Ctmc::reserve(std::size_t states, std::size_t transitions) {
+  labels_.reserve(labels_.size() + states);
+  transitions_.reserve(transitions_.size() + transitions);
+}
+
 void Ctmc::add_transition(StateIndex from, StateIndex to, double rate) {
   if (from >= state_count() || to >= state_count()) {
     throw std::out_of_range("Ctmc::add_transition: state out of range");
@@ -29,18 +37,69 @@ void Ctmc::add_transition(StateIndex from, StateIndex to, double rate) {
 }
 
 linalg::CsrMatrix Ctmc::generator() const {
-  std::vector<linalg::Triplet> entries;
-  entries.reserve(transitions_.size() * 2);
-  for (const RateTransition& t : transitions_) {
-    entries.push_back({t.from, t.to, t.rate});
-    entries.push_back({t.from, t.from, -t.rate});
+  const std::size_t n = state_count();
+  // Counting assembly: gather each row's off-diagonal (to, rate) pairs into a
+  // flat scratch, sort/merge the (tiny) rows, and append them to the final
+  // CSR arrays with the diagonal -sum(rates) spliced in at its sorted
+  // position.  O(nnz) plus per-row micro-sorts — no global triplet sort.
+  std::vector<std::size_t> cursor(n + 1, 0);
+  for (const RateTransition& t : transitions_) ++cursor[t.from + 1];
+  for (std::size_t r = 0; r < n; ++r) cursor[r + 1] += cursor[r];
+  std::vector<std::pair<std::size_t, double>> scratch(transitions_.size());
+  for (const RateTransition& t : transitions_) scratch[cursor[t.from]++] = {t.to, t.rate};
+  // cursor[r] now points one past row r's segment; row r spans
+  // [r == 0 ? 0 : cursor[r-1], cursor[r]).
+
+  std::vector<std::size_t> row_offsets(n + 1, 0);
+  std::vector<std::size_t> col_indices;
+  std::vector<double> values;
+  col_indices.reserve(transitions_.size() + n);
+  values.reserve(transitions_.size() + n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto begin = scratch.begin() + static_cast<std::ptrdiff_t>(r == 0 ? 0 : cursor[r - 1]);
+    const auto end = scratch.begin() + static_cast<std::ptrdiff_t>(cursor[r]);
+    std::sort(begin, end);
+    double exit_rate = 0.0;
+    bool diag_emitted = begin == end;  // empty rows store nothing (matches the
+                                       // triplet path, which dropped zero sums)
+    const std::size_t row_begin = values.size();
+    for (auto it = begin; it != end; ++it) {
+      double rate = it->second;
+      while (it + 1 != end && (it + 1)->first == it->first) {  // merge parallel edges
+        ++it;
+        rate += it->second;
+      }
+      exit_rate += rate;
+      if (!diag_emitted && it->first > r) {
+        col_indices.push_back(r);
+        values.push_back(0.0);  // patched to -exit_rate below
+        diag_emitted = true;
+      }
+      col_indices.push_back(it->first);
+      values.push_back(rate);
+    }
+    if (!diag_emitted) {
+      col_indices.push_back(r);
+      values.push_back(0.0);
+    }
+    for (std::size_t k = row_begin; k < values.size(); ++k) {
+      if (col_indices[k] == r) values[k] = -exit_rate;
+    }
+    row_offsets[r + 1] = values.size();
   }
-  return linalg::CsrMatrix(state_count(), state_count(), std::move(entries));
+  return linalg::CsrMatrix::from_sorted(n, n, std::move(row_offsets), std::move(col_indices),
+                                        std::move(values));
 }
 
 linalg::SteadyStateResult Ctmc::steady_state(const linalg::SteadyStateOptions& options) const {
   if (state_count() == 0) throw std::logic_error("Ctmc::steady_state: empty chain");
   return linalg::solve_steady_state(generator(), options);
+}
+
+linalg::SteadyStateResult Ctmc::steady_state(linalg::StationarySolver& workspace,
+                                             const linalg::SteadyStateOptions& options) const {
+  if (state_count() == 0) throw std::logic_error("Ctmc::steady_state: empty chain");
+  return workspace.solve(generator(), options);
 }
 
 double Ctmc::expected_steady_state_reward(const std::vector<double>& rewards,

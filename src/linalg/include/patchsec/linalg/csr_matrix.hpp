@@ -24,6 +24,17 @@ class CsrMatrix {
   /// triplet out of range throws std::out_of_range.
   CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> entries);
 
+  /// Build directly from pre-assembled CSR arrays, skipping the triplet sort.
+  /// The builder must provide rows already sorted by column with duplicates
+  /// merged and explicit zeros dropped (the class invariants); the arrays are
+  /// validated in one O(nnz) pass and std::invalid_argument is thrown on any
+  /// violation.  This is the fast path for producers that naturally emit
+  /// sorted rows (the counting transpose, ctmc::Ctmc::generator()).
+  [[nodiscard]] static CsrMatrix from_sorted(std::size_t rows, std::size_t cols,
+                                             std::vector<std::size_t> row_offsets,
+                                             std::vector<std::size_t> col_indices,
+                                             std::vector<double> values);
+
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
   [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
@@ -38,7 +49,9 @@ class CsrMatrix {
   /// Element lookup (binary search within the row); 0.0 when absent.
   [[nodiscard]] double at(std::size_t row, std::size_t col) const;
 
-  /// Transposed copy.
+  /// Transposed copy.  Linear-time counting/bucket transpose: one pass counts
+  /// entries per column, a prefix sum places the bucket boundaries, and one
+  /// scatter pass fills them (already sorted, so no re-sort is paid).
   [[nodiscard]] CsrMatrix transposed() const;
 
   /// Row access for solvers.

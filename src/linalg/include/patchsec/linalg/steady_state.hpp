@@ -10,7 +10,14 @@
 ///    converge much faster on the stiff generators produced by patch models
 ///    (rates spanning 1e-5 .. 1e+1 per hour).
 /// The public entry point (SteadyStateMethod::kAuto) tries Gauss-Seidel first
-/// and falls back to power iteration when the sweep stalls.
+/// and falls back to power iteration when the sweep stalls (detected early by
+/// plateau projection rather than by exhausting the iteration budget).
+///
+/// solve_steady_state() is the stateless convenience wrapper; callers that
+/// solve many same-structure generators should hold a
+/// linalg::StationarySolver (stationary_solver.hpp), which additionally
+/// caches the transposed generator, diagonal and scratch vectors across
+/// solves.  Both run the identical numerical path.
 
 #include <cstddef>
 #include <vector>
@@ -41,6 +48,11 @@ struct SteadyStateResult {
   std::size_t iterations = 0;        ///< iterations spent by the winning method.
   double residual = 0.0;  ///< max-norm of pi*Q at the returned iterate.
   bool converged = false;  ///< false when max_iterations elapsed first.
+  /// kAuto only: the Gauss-Seidel attempt was abandoned early because its
+  /// sweep difference plateaued (projected sweeps-to-tolerance exceeded the
+  /// remaining budget), and power iteration took over.  Never set when the
+  /// returned distribution converged via Gauss-Seidel.
+  bool stalled = false;
 };
 
 /// \brief Solve pi * Q = 0, sum(pi) = 1 for a CTMC infinitesimal generator.

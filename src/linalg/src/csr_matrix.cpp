@@ -72,15 +72,61 @@ double CsrMatrix::at(std::size_t row, std::size_t col) const {
   return values_[static_cast<std::size_t>(it - col_indices_.begin())];
 }
 
-CsrMatrix CsrMatrix::transposed() const {
-  std::vector<Triplet> entries;
-  entries.reserve(nnz());
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
-      entries.push_back({col_indices_[k], r, values_[k]});
+CsrMatrix CsrMatrix::from_sorted(std::size_t rows, std::size_t cols,
+                                 std::vector<std::size_t> row_offsets,
+                                 std::vector<std::size_t> col_indices,
+                                 std::vector<double> values) {
+  if (row_offsets.size() != rows + 1 || row_offsets.front() != 0 ||
+      row_offsets.back() != values.size() || col_indices.size() != values.size()) {
+    throw std::invalid_argument("CsrMatrix::from_sorted: inconsistent array shapes");
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (row_offsets[r] > row_offsets[r + 1]) {
+      throw std::invalid_argument("CsrMatrix::from_sorted: row offsets must be non-decreasing");
+    }
+    for (std::size_t k = row_offsets[r]; k < row_offsets[r + 1]; ++k) {
+      if (col_indices[k] >= cols) {
+        throw std::invalid_argument("CsrMatrix::from_sorted: column index out of range");
+      }
+      if (k > row_offsets[r] && col_indices[k - 1] >= col_indices[k]) {
+        throw std::invalid_argument(
+            "CsrMatrix::from_sorted: row columns must be strictly increasing");
+      }
+      if (values[k] == 0.0) {
+        throw std::invalid_argument("CsrMatrix::from_sorted: explicit zeros are not stored");
+      }
     }
   }
-  return CsrMatrix(cols_, rows_, std::move(entries));
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_offsets_ = std::move(row_offsets);
+  m.col_indices_ = std::move(col_indices);
+  m.values_ = std::move(values);
+  return m;
+}
+
+CsrMatrix CsrMatrix::transposed() const {
+  CsrMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_offsets_.assign(cols_ + 1, 0);
+  // Count entries per column, shifted one slot so the prefix sum lands
+  // directly in row_offsets.
+  for (std::size_t c : col_indices_) ++t.row_offsets_[c + 1];
+  for (std::size_t c = 0; c < cols_; ++c) t.row_offsets_[c + 1] += t.row_offsets_[c];
+  t.col_indices_.resize(nnz());
+  t.values_.resize(nnz());
+  std::vector<std::size_t> cursor(t.row_offsets_.begin(), t.row_offsets_.end() - 1);
+  // Scanning source rows in ascending order keeps every transposed row sorted.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const std::size_t slot = cursor[col_indices_[k]]++;
+      t.col_indices_[slot] = r;
+      t.values_[slot] = values_[k];
+    }
+  }
+  return t;
 }
 
 double CsrMatrix::row_sum(std::size_t row) const {

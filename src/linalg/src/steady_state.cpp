@@ -1,125 +1,18 @@
 #include "patchsec/linalg/steady_state.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
+#include "patchsec/linalg/stationary_solver.hpp"
 #include "patchsec/linalg/vector_ops.hpp"
 
 namespace patchsec::linalg {
 
-namespace {
-
-double max_exit_rate(const CsrMatrix& q) {
-  double m = 0.0;
-  for (std::size_t r = 0; r < q.rows(); ++r) {
-    m = std::max(m, std::abs(q.at(r, r)));
-  }
-  return m;
-}
-
-SteadyStateResult power_iteration(const CsrMatrix& q, const SteadyStateOptions& opt) {
-  const std::size_t n = q.rows();
-  // Uniformization constant strictly above the largest exit rate keeps the
-  // DTMC aperiodic.
-  const double lambda = std::max(max_exit_rate(q) * 1.02, 1e-12);
-
-  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
-  std::vector<double> piq(n);
-  SteadyStateResult result;
-  for (std::size_t it = 1; it <= opt.max_iterations; ++it) {
-    q.left_multiply(pi, piq);
-    // next = pi + pi*Q/lambda
-    double diff = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double next = pi[i] + piq[i] / lambda;
-      diff = std::max(diff, std::abs(next - pi[i]));
-      pi[i] = next;
-    }
-    // Renormalize to fight drift.
-    normalize_probability(pi);
-    if (diff < opt.tolerance) {
-      result.converged = true;
-      result.iterations = it;
-      break;
-    }
-    result.iterations = it;
-  }
-  q.left_multiply(pi, piq);
-  result.residual = norm_inf(piq);
-  result.distribution = std::move(pi);
-  return result;
-}
-
-// Gauss-Seidel/SOR on Q^T x = 0: iterate x_i = (omega) * (-1/q_ii) *
-// sum_{j!=i} q_ji x_j + (1-omega) x_i, then normalize.
-SteadyStateResult gauss_seidel(const CsrMatrix& q, const SteadyStateOptions& opt, double omega) {
-  const std::size_t n = q.rows();
-  const CsrMatrix qt = q.transposed();
-  const auto& off = qt.row_offsets();
-  const auto& col = qt.col_indices();
-  const auto& val = qt.values();
-
-  std::vector<double> diag(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) diag[i] = q.at(i, i);
-
-  std::vector<double> x(n, 1.0 / static_cast<double>(n));
-  std::vector<double> prev(n);
-  SteadyStateResult result;
-  for (std::size_t it = 1; it <= opt.max_iterations; ++it) {
-    prev = x;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (diag[i] == 0.0) continue;  // absorbing-in-isolation row; keep mass
-      double acc = 0.0;
-      for (std::size_t k = off[i]; k < off[i + 1]; ++k) {
-        const std::size_t j = col[k];
-        if (j == i) continue;
-        acc += val[k] * x[j];
-      }
-      const double gs = -acc / diag[i];
-      x[i] = omega * gs + (1.0 - omega) * x[i];
-      if (x[i] < 0.0) x[i] = 0.0;  // round-off guard; true solution is >= 0
-    }
-    normalize_probability(x);
-    result.iterations = it;
-    if (max_abs_diff(x, prev) < opt.tolerance) {
-      result.converged = true;
-      break;
-    }
-  }
-  std::vector<double> xq;
-  q.left_multiply(x, xq);
-  result.residual = norm_inf(xq);
-  result.distribution = std::move(x);
-  return result;
-}
-
-}  // namespace
-
-SteadyStateResult solve_steady_state(const CsrMatrix& generator, const SteadyStateOptions& options) {
-  if (generator.rows() == 0) throw std::invalid_argument("solve_steady_state: empty generator");
-  if (generator.rows() != generator.cols()) {
-    throw std::invalid_argument("solve_steady_state: generator must be square");
-  }
-  if (generator.rows() == 1) {
-    return {.distribution = {1.0}, .iterations = 0, .residual = 0.0, .converged = true};
-  }
-
-  switch (options.method) {
-    case SteadyStateMethod::kPower:
-      return power_iteration(generator, options);
-    case SteadyStateMethod::kGaussSeidel:
-      return gauss_seidel(generator, options, 1.0);
-    case SteadyStateMethod::kSor:
-      return gauss_seidel(generator, options, options.sor_relaxation);
-    case SteadyStateMethod::kAuto: {
-      SteadyStateResult gs = gauss_seidel(generator, options, 1.0);
-      if (gs.converged && gs.residual < 1e-8) return gs;
-      SteadyStateResult pw = power_iteration(generator, options);
-      return (pw.residual < gs.residual) ? pw : gs;
-    }
-  }
-  throw std::logic_error("solve_steady_state: unknown method");
+SteadyStateResult solve_steady_state(const CsrMatrix& generator,
+                                     const SteadyStateOptions& options) {
+  // Thin wrapper: the numerical paths (and all validation) live in
+  // StationarySolver; a throwaway workspace keeps this entry point stateless.
+  StationarySolver solver;
+  return solver.solve(generator, options);
 }
 
 std::vector<double> birth_death_steady_state(const std::vector<double>& birth,

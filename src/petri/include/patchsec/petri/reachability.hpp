@@ -12,6 +12,10 @@
 #include "patchsec/petri/marking.hpp"
 #include "patchsec/petri/srn_model.hpp"
 
+namespace patchsec::linalg {
+class StationarySolver;
+}  // namespace patchsec::linalg
+
 namespace patchsec::petri {
 
 struct ReachabilityOptions {
@@ -20,6 +24,11 @@ struct ReachabilityOptions {
   /// Abort when a chain of immediate firings exceeds this depth (indicates a
   /// vanishing loop, which the supported model class must not contain).
   std::size_t max_vanishing_depth = 4096;
+  /// Up-front capacity reserved for the tangible marking vector and index
+  /// (clamped to max_tangible_markings).  0 picks a small default; callers
+  /// that know their state-space size avoid rehash/regrow churn by setting
+  /// it.
+  std::size_t reserve_markings = 0;
 };
 
 /// \brief End-to-end solver configuration for one SRN analysis: reachability
@@ -70,9 +79,14 @@ struct ReachabilityGraph {
   [[nodiscard]] std::size_t tangible_count() const noexcept { return tangible_markings.size(); }
 
   /// Index of a tangible marking; throws std::out_of_range when unknown.
+  /// The lookup table is built lazily on the first call (the exploration
+  /// loop keeps its own faster packed index, so most graphs never pay for
+  /// this map); not safe to call concurrently on the same graph from
+  /// multiple threads until the first call has returned.
   [[nodiscard]] std::size_t index_of(const Marking& m) const;
 
-  std::unordered_map<Marking, std::size_t, MarkingHash> index;
+ private:
+  mutable std::unordered_map<Marking, std::size_t, MarkingHash> index_;
 };
 
 /// Explore the net from its initial marking.  Throws std::runtime_error when
@@ -90,8 +104,12 @@ class SrnAnalyzer {
   /// Full solver configuration: reachability limits plus steady-state method,
   /// tolerance and iteration budget.  diagnostics() reports how the solve
   /// went; with options.throw_on_divergence == false a non-converged solve is
-  /// recorded there instead of thrown.
-  SrnAnalyzer(const SrnModel& model, const AnalyzerOptions& options);
+  /// recorded there instead of thrown.  A non-null `workspace` routes the
+  /// steady-state solve through a caller-owned linalg::StationarySolver so
+  /// repeated analyses of same-structure SRNs (schedule sweeps, design
+  /// sweeps) reuse the cached transpose/diagonal/scratch.
+  SrnAnalyzer(const SrnModel& model, const AnalyzerOptions& options,
+              linalg::StationarySolver* workspace = nullptr);
 
   [[nodiscard]] const ReachabilityGraph& graph() const noexcept { return graph_; }
   [[nodiscard]] const std::vector<double>& steady_state() const noexcept { return steady_; }

@@ -92,6 +92,13 @@ class SrnModel {
   [[nodiscard]] const std::vector<Arc>& output_arcs(TransitionId t) const;
   [[nodiscard]] const std::vector<Arc>& inhibitor_arcs(TransitionId t) const;
   [[nodiscard]] bool has_guard(TransitionId t) const;
+  /// The guard itself (empty std::function when none) — lets analysis code
+  /// compile the net into flat arrays without re-wrapping the model.
+  [[nodiscard]] const Guard& guard(TransitionId t) const;
+  /// The rate function of a timed transition (throws std::logic_error for
+  /// immediates).  Callers doing their own evaluation must apply the same
+  /// positivity/finiteness validation rate() performs.
+  [[nodiscard]] const RateFunction& rate_function(TransitionId t) const;
 
   [[nodiscard]] Marking initial_marking() const;
 
@@ -113,11 +120,23 @@ class SrnModel {
   /// is not enabled.
   [[nodiscard]] Marking fire(TransitionId t, const Marking& m) const;
 
+  /// Allocation-free fire: writes the successor of firing t in m into `out`
+  /// (resized/overwritten; its capacity is reused).  `out` may alias `m`.
+  /// Throws std::logic_error when t is not enabled.
+  void fire_into(TransitionId t, const Marking& m, Marking& out) const;
+
   /// All enabled immediate transitions of maximal priority in m.
   [[nodiscard]] std::vector<TransitionId> enabled_immediates(const Marking& m) const;
 
   /// All enabled timed transitions in m.
   [[nodiscard]] std::vector<TransitionId> enabled_timed(const Marking& m) const;
+
+  /// Allocation-free enumeration: `out` is cleared and filled (capacity
+  /// reused across calls).  Same contents and order as the returning
+  /// overloads; these are the hot-path forms used by the reachability
+  /// explorer and the simulator.
+  void enabled_immediates_into(const Marking& m, std::vector<TransitionId>& out) const;
+  void enabled_timed_into(const Marking& m, std::vector<TransitionId>& out) const;
 
   /// A marking is vanishing when at least one immediate transition is
   /// enabled (immediates preempt timed transitions).

@@ -112,6 +112,20 @@ bool SrnModel::has_guard(TransitionId t) const {
   return static_cast<bool>(transitions_[t].guard);
 }
 
+const Guard& SrnModel::guard(TransitionId t) const {
+  check_transition(t);
+  return transitions_[t].guard;
+}
+
+const RateFunction& SrnModel::rate_function(TransitionId t) const {
+  check_transition(t);
+  if (transitions_[t].kind != TransitionKind::kTimed) {
+    throw std::logic_error("rate_function() called on immediate transition " +
+                           transitions_[t].name);
+  }
+  return transitions_[t].rate;
+}
+
 Marking SrnModel::initial_marking() const {
   Marking m(places_.size());
   for (std::size_t i = 0; i < places_.size(); ++i) m[i] = places_[i].initial;
@@ -162,39 +176,54 @@ unsigned SrnModel::priority(TransitionId t) const {
 }
 
 Marking SrnModel::fire(TransitionId t, const Marking& m) const {
+  Marking next;
+  fire_into(t, m, next);
+  return next;
+}
+
+void SrnModel::fire_into(TransitionId t, const Marking& m, Marking& out) const {
   if (!is_enabled(t, m)) {
     throw std::logic_error("fire: transition " + transitions_[t].name + " not enabled in " +
                            petri::to_string(m));
   }
-  Marking next = m;
+  out = m;  // self-assignment safe when out aliases m; deltas applied below
   const Transition& tr = transitions_[t];
-  for (const Arc& a : tr.inputs) next[a.place] -= a.multiplicity;
-  for (const Arc& a : tr.outputs) next[a.place] += a.multiplicity;
-  return next;
+  for (const Arc& a : tr.inputs) out[a.place] -= a.multiplicity;
+  for (const Arc& a : tr.outputs) out[a.place] += a.multiplicity;
 }
 
 std::vector<TransitionId> SrnModel::enabled_immediates(const Marking& m) const {
   std::vector<TransitionId> enabled;
+  enabled_immediates_into(m, enabled);
+  return enabled;
+}
+
+std::vector<TransitionId> SrnModel::enabled_timed(const Marking& m) const {
+  std::vector<TransitionId> enabled;
+  enabled_timed_into(m, enabled);
+  return enabled;
+}
+
+void SrnModel::enabled_immediates_into(const Marking& m, std::vector<TransitionId>& out) const {
+  out.clear();
   unsigned best_priority = 0;
   for (TransitionId t = 0; t < transitions_.size(); ++t) {
     if (transitions_[t].kind != TransitionKind::kImmediate) continue;
     if (!is_enabled(t, m)) continue;
     if (transitions_[t].priority > best_priority) {
       best_priority = transitions_[t].priority;
-      enabled.clear();
+      out.clear();
     }
-    if (transitions_[t].priority == best_priority) enabled.push_back(t);
+    if (transitions_[t].priority == best_priority) out.push_back(t);
   }
-  return enabled;
 }
 
-std::vector<TransitionId> SrnModel::enabled_timed(const Marking& m) const {
-  std::vector<TransitionId> enabled;
+void SrnModel::enabled_timed_into(const Marking& m, std::vector<TransitionId>& out) const {
+  out.clear();
   for (TransitionId t = 0; t < transitions_.size(); ++t) {
     if (transitions_[t].kind != TransitionKind::kTimed) continue;
-    if (is_enabled(t, m)) enabled.push_back(t);
+    if (is_enabled(t, m)) out.push_back(t);
   }
-  return enabled;
 }
 
 void SrnModel::check_place(PlaceId p) const {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace patchsec::sim {
 
@@ -11,25 +12,34 @@ using petri::Marking;
 using petri::SrnModel;
 using petri::TransitionId;
 
+// Reusable per-run buffers: the event loop fires millions of transitions, so
+// the enumeration scratch, the double-buffered marking and the firing target
+// are allocated once and recycled (SrnModel's *_into API).
+struct SimScratch {
+  std::vector<TransitionId> enabled;
+  Marking next;
+};
+
 // Follow immediate transitions until a tangible marking is reached, sampling
-// among competing immediates by weight.
-Marking settle(const SrnModel& model, Marking m, std::mt19937_64& rng) {
+// among competing immediates by weight.  `m` is settled in place.
+void settle(const SrnModel& model, Marking& m, std::mt19937_64& rng, SimScratch& scratch) {
   for (std::size_t depth = 0; depth < 4096; ++depth) {
-    const std::vector<TransitionId> immediates = model.enabled_immediates(m);
-    if (immediates.empty()) return m;
+    model.enabled_immediates_into(m, scratch.enabled);
+    if (scratch.enabled.empty()) return;
     double total = 0.0;
-    for (TransitionId t : immediates) total += model.weight(t);
+    for (TransitionId t : scratch.enabled) total += model.weight(t);
     std::uniform_real_distribution<double> u(0.0, total);
     double pick = u(rng);
-    TransitionId chosen = immediates.back();
-    for (TransitionId t : immediates) {
+    TransitionId chosen = scratch.enabled.back();
+    for (TransitionId t : scratch.enabled) {
       pick -= model.weight(t);
       if (pick <= 0.0) {
         chosen = t;
         break;
       }
     }
-    m = model.fire(chosen, m);
+    model.fire_into(chosen, m, scratch.next);
+    m.swap(scratch.next);
   }
   throw std::runtime_error("simulator: vanishing loop detected");
 }
@@ -45,19 +55,21 @@ SimulationEstimate SrnSimulator::steady_state_reward(const petri::RewardFunction
   if (!(options.batch_hours > 0.0)) throw std::invalid_argument("batch_hours must be positive");
 
   std::mt19937_64 rng(options.seed);
-  Marking m = settle(model_, model_.initial_marking(), rng);
+  SimScratch scratch;
+  Marking m = model_.initial_marking();
+  settle(model_, m, rng, scratch);
 
   const auto advance = [&](double horizon, bool accumulate, double& reward_time) -> void {
     double t = 0.0;
     while (t < horizon) {
-      const std::vector<TransitionId> enabled = model_.enabled_timed(m);
-      if (enabled.empty()) {
+      model_.enabled_timed_into(m, scratch.enabled);
+      if (scratch.enabled.empty()) {
         // Dead marking: the reward holds for the remainder of the horizon.
         if (accumulate) reward_time += reward(m) * (horizon - t);
         return;
       }
       double total_rate = 0.0;
-      for (TransitionId tr : enabled) total_rate += model_.rate(tr, m);
+      for (TransitionId tr : scratch.enabled) total_rate += model_.rate(tr, m);
       std::exponential_distribution<double> dwell_dist(total_rate);
       double dwell = dwell_dist(rng);
       if (t + dwell > horizon) dwell = horizon - t;
@@ -67,15 +79,17 @@ SimulationEstimate SrnSimulator::steady_state_reward(const petri::RewardFunction
 
       std::uniform_real_distribution<double> u(0.0, total_rate);
       double pick = u(rng);
-      TransitionId chosen = enabled.back();
-      for (TransitionId tr : enabled) {
+      TransitionId chosen = scratch.enabled.back();
+      for (TransitionId tr : scratch.enabled) {
         pick -= model_.rate(tr, m);
         if (pick <= 0.0) {
           chosen = tr;
           break;
         }
       }
-      m = settle(model_, model_.fire(chosen, m), rng);
+      model_.fire_into(chosen, m, scratch.next);
+      m.swap(scratch.next);
+      settle(model_, m, rng, scratch);
     }
   };
 
@@ -113,29 +127,34 @@ SimulationEstimate SrnSimulator::transient_reward(const petri::RewardFunction& r
   if (replications < 2) throw std::invalid_argument("transient_reward: need >= 2 replications");
 
   std::mt19937_64 rng(seed);
+  SimScratch scratch;
   double sum = 0.0, sum_sq = 0.0;
+  Marking m;
   for (std::size_t rep = 0; rep < replications; ++rep) {
-    Marking m = settle(model_, model_.initial_marking(), rng);
+    m = model_.initial_marking();
+    settle(model_, m, rng, scratch);
     double now = 0.0;
     while (now < t) {
-      const std::vector<TransitionId> enabled = model_.enabled_timed(m);
-      if (enabled.empty()) break;  // dead marking holds until t
+      model_.enabled_timed_into(m, scratch.enabled);
+      if (scratch.enabled.empty()) break;  // dead marking holds until t
       double total_rate = 0.0;
-      for (TransitionId tr : enabled) total_rate += model_.rate(tr, m);
+      for (TransitionId tr : scratch.enabled) total_rate += model_.rate(tr, m);
       std::exponential_distribution<double> dwell(total_rate);
       now += dwell(rng);
       if (now >= t) break;
       std::uniform_real_distribution<double> u(0.0, total_rate);
       double pick = u(rng);
-      TransitionId chosen = enabled.back();
-      for (TransitionId tr : enabled) {
+      TransitionId chosen = scratch.enabled.back();
+      for (TransitionId tr : scratch.enabled) {
         pick -= model_.rate(tr, m);
         if (pick <= 0.0) {
           chosen = tr;
           break;
         }
       }
-      m = settle(model_, model_.fire(chosen, m), rng);
+      model_.fire_into(chosen, m, scratch.next);
+      m.swap(scratch.next);
+      settle(model_, m, rng, scratch);
     }
     const double value = reward(m);
     sum += value;

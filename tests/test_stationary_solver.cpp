@@ -1,0 +1,498 @@
+// Solver-equivalence suite for the StationarySolver workspace rewrite.
+//
+// The old solver (triplet-sort transpose, per-sweep prev copy + normalize,
+// kAuto exhausting the full Gauss-Seidel budget before falling back) is kept
+// here verbatim as a reference oracle.  The suite asserts the rebuilt path
+// produces the same distributions (to 1e-10), the same converged flags, and
+// never more iterations than the reference on birth-death oracles, the paper
+// case-study SRNs and a randomized generator fuzz set — so neither the
+// workspace caching, the in-sweep convergence test nor the kAuto stall
+// detection can silently change numerics or degrade convergence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "patchsec/avail/aggregation.hpp"
+#include "patchsec/avail/network_srn.hpp"
+#include "patchsec/avail/server_srn.hpp"
+#include "patchsec/core/scenario.hpp"
+#include "patchsec/core/session.hpp"
+#include "patchsec/ctmc/ctmc.hpp"
+#include "patchsec/linalg/csr_matrix.hpp"
+#include "patchsec/linalg/stationary_solver.hpp"
+#include "patchsec/linalg/steady_state.hpp"
+#include "patchsec/linalg/vector_ops.hpp"
+#include "patchsec/petri/reachability.hpp"
+
+namespace {
+
+namespace av = patchsec::avail;
+namespace core = patchsec::core;
+namespace ent = patchsec::enterprise;
+namespace la = patchsec::linalg;
+namespace pt = patchsec::petri;
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the pre-workspace solver, kept verbatim.
+// ---------------------------------------------------------------------------
+
+double ref_max_exit_rate(const la::CsrMatrix& q) {
+  double m = 0.0;
+  for (std::size_t r = 0; r < q.rows(); ++r) m = std::max(m, std::abs(q.at(r, r)));
+  return m;
+}
+
+la::SteadyStateResult ref_power_iteration(const la::CsrMatrix& q,
+                                          const la::SteadyStateOptions& opt) {
+  const std::size_t n = q.rows();
+  const double lambda = std::max(ref_max_exit_rate(q) * 1.02, 1e-12);
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> piq(n);
+  la::SteadyStateResult result;
+  for (std::size_t it = 1; it <= opt.max_iterations; ++it) {
+    q.left_multiply(pi, piq);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double next = pi[i] + piq[i] / lambda;
+      diff = std::max(diff, std::abs(next - pi[i]));
+      pi[i] = next;
+    }
+    la::normalize_probability(pi);
+    if (diff < opt.tolerance) {
+      result.converged = true;
+      result.iterations = it;
+      break;
+    }
+    result.iterations = it;
+  }
+  q.left_multiply(pi, piq);
+  result.residual = la::norm_inf(piq);
+  result.distribution = std::move(pi);
+  return result;
+}
+
+la::SteadyStateResult ref_gauss_seidel(const la::CsrMatrix& q, const la::SteadyStateOptions& opt,
+                                       double omega) {
+  const std::size_t n = q.rows();
+  const la::CsrMatrix qt = q.transposed();
+  const auto& off = qt.row_offsets();
+  const auto& col = qt.col_indices();
+  const auto& val = qt.values();
+
+  std::vector<double> diag(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = q.at(i, i);
+
+  std::vector<double> x(n, 1.0 / static_cast<double>(n));
+  std::vector<double> prev(n);
+  la::SteadyStateResult result;
+  for (std::size_t it = 1; it <= opt.max_iterations; ++it) {
+    prev = x;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (diag[i] == 0.0) continue;
+      double acc = 0.0;
+      for (std::size_t k = off[i]; k < off[i + 1]; ++k) {
+        const std::size_t j = col[k];
+        if (j == i) continue;
+        acc += val[k] * x[j];
+      }
+      const double gs = -acc / diag[i];
+      x[i] = omega * gs + (1.0 - omega) * x[i];
+      if (x[i] < 0.0) x[i] = 0.0;
+    }
+    la::normalize_probability(x);
+    result.iterations = it;
+    if (la::max_abs_diff(x, prev) < opt.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  std::vector<double> xq;
+  q.left_multiply(x, xq);
+  result.residual = la::norm_inf(xq);
+  result.distribution = std::move(x);
+  return result;
+}
+
+la::SteadyStateResult ref_solve(const la::CsrMatrix& q, const la::SteadyStateOptions& opt) {
+  if (q.rows() == 1) {
+    return {.distribution = {1.0}, .iterations = 0, .residual = 0.0, .converged = true};
+  }
+  switch (opt.method) {
+    case la::SteadyStateMethod::kPower:
+      return ref_power_iteration(q, opt);
+    case la::SteadyStateMethod::kGaussSeidel:
+      return ref_gauss_seidel(q, opt, 1.0);
+    case la::SteadyStateMethod::kSor:
+      return ref_gauss_seidel(q, opt, opt.sor_relaxation);
+    case la::SteadyStateMethod::kAuto: {
+      la::SteadyStateResult gs = ref_gauss_seidel(q, opt, 1.0);
+      if (gs.converged && gs.residual < 1e-8) return gs;
+      la::SteadyStateResult pw = ref_power_iteration(q, opt);
+      return (pw.residual < gs.residual) ? pw : gs;
+    }
+  }
+  throw std::logic_error("unknown method");
+}
+
+// ---------------------------------------------------------------------------
+// Generator factories.
+// ---------------------------------------------------------------------------
+
+la::CsrMatrix random_ergodic_generator(std::uint64_t seed) {
+  // Ring (guarantees irreducibility) plus random extra edges; rates within
+  // two orders of magnitude so Gauss-Seidel converges healthily.
+  std::mt19937_64 rng(seed * 6364136223846793005ull + 1442695040888963407ull);
+  std::uniform_int_distribution<std::size_t> size(2, 24);
+  std::uniform_real_distribution<double> rate(0.05, 20.0);
+  const std::size_t n = size(rng);
+  std::vector<la::Triplet> entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = rate(rng);
+    entries.push_back({i, (i + 1) % n, r});
+    entries.push_back({i, i, -r});
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  for (std::size_t k = 0; k < 2 * n; ++k) {
+    const std::size_t i = pick(rng);
+    std::size_t j = pick(rng);
+    if (i == j) j = (j + 1) % n;
+    const double r = rate(rng);
+    entries.push_back({i, j, r});
+    entries.push_back({i, i, -r});
+  }
+  return la::CsrMatrix(n, n, entries);
+}
+
+la::CsrMatrix birth_death_generator(const std::vector<double>& birth,
+                                    const std::vector<double>& death) {
+  patchsec::ctmc::Ctmc chain;
+  chain.add_states(birth.size() + 1);
+  for (std::size_t i = 0; i < birth.size(); ++i) {
+    chain.add_transition(i, i + 1, birth[i]);
+    chain.add_transition(i + 1, i, death[i]);
+  }
+  return chain.generator();
+}
+
+la::CsrMatrix network_generator(const core::Session& session, unsigned k) {
+  const av::NetworkSrn net =
+      av::build_network_srn(ent::RedundancyDesign{{k, k, k, k}}, session.aggregated_rates());
+  return pt::build_reachability_graph(net.model).chain.generator();
+}
+
+std::vector<la::CsrMatrix> paper_generators() {
+  // The lower-layer server SRNs of every role with a spec plus the
+  // upper-layer network SRNs of the five Sec. IV candidate designs and the
+  // stress configuration {6,6,6,6}.
+  std::vector<la::CsrMatrix> generators;
+  const core::Scenario scenario = core::Scenario::paper_case_study();
+  const core::Session session(scenario);
+  for (const auto& [role, spec] : scenario.specs()) {
+    av::ServerSrnOptions options;
+    const av::ServerSrn srn = av::build_server_srn(spec, options);
+    generators.push_back(pt::build_reachability_graph(srn.model).chain.generator());
+  }
+  for (const ent::RedundancyDesign& design : scenario.designs()) {
+    const av::NetworkSrn net = av::build_network_srn(design, session.aggregated_rates());
+    generators.push_back(pt::build_reachability_graph(net.model).chain.generator());
+  }
+  generators.push_back(network_generator(session, 6));
+  return generators;
+}
+
+// `iteration_slack` is 0 (strict parity-or-fewer) everywhere except the
+// deliberately slow high-iteration chains, where the tolerance crossing moves
+// by well under the per-sweep rounding noise and a one-sweep wobble in either
+// direction is numerically meaningless.
+void expect_equivalent(const la::CsrMatrix& q, const la::SteadyStateOptions& opt,
+                       const std::string& label, std::size_t iteration_slack = 0) {
+  const la::SteadyStateResult ref = ref_solve(q, opt);
+  la::StationarySolver solver;
+  const la::SteadyStateResult got = solver.solve(q, opt);
+  ASSERT_EQ(got.distribution.size(), ref.distribution.size()) << label;
+  EXPECT_LT(la::max_abs_diff(got.distribution, ref.distribution), 1e-10) << label;
+  EXPECT_EQ(got.converged, ref.converged) << label;
+  EXPECT_LE(got.iterations, ref.iterations + iteration_slack)
+      << label << ": the rewrite must never need more iterations than the classical solver";
+  EXPECT_FALSE(got.stalled) << label;
+  // The wrapper runs the identical path.
+  const la::SteadyStateResult wrapped = la::solve_steady_state(q, opt);
+  EXPECT_EQ(wrapped.iterations, got.iterations) << label;
+  EXPECT_LT(la::max_abs_diff(wrapped.distribution, got.distribution), 1e-15) << label;
+}
+
+// ---------------------------------------------------------------------------
+// CSR construction and transpose.
+// ---------------------------------------------------------------------------
+
+TEST(CsrFastPaths, BucketTransposeMatchesTripletTranspose) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const la::CsrMatrix q = random_ergodic_generator(seed);
+    const la::CsrMatrix fast = q.transposed();
+    // Triplet-built transpose: the pre-rewrite semantics.
+    std::vector<la::Triplet> entries;
+    for (std::size_t r = 0; r < q.rows(); ++r) {
+      for (std::size_t k = q.row_offsets()[r]; k < q.row_offsets()[r + 1]; ++k) {
+        entries.push_back({q.col_indices()[k], r, q.values()[k]});
+      }
+    }
+    const la::CsrMatrix slow(q.cols(), q.rows(), entries);
+    EXPECT_EQ(fast.row_offsets(), slow.row_offsets());
+    EXPECT_EQ(fast.col_indices(), slow.col_indices());
+    EXPECT_EQ(fast.values(), slow.values());
+  }
+}
+
+TEST(CsrFastPaths, TransposeRoundTripIsIdentity) {
+  const la::CsrMatrix q = random_ergodic_generator(42);
+  const la::CsrMatrix qtt = q.transposed().transposed();
+  EXPECT_EQ(qtt.row_offsets(), q.row_offsets());
+  EXPECT_EQ(qtt.col_indices(), q.col_indices());
+  EXPECT_EQ(qtt.values(), q.values());
+}
+
+TEST(CsrFastPaths, FromSortedMatchesTripletConstruction) {
+  const la::CsrMatrix q = random_ergodic_generator(7);
+  const la::CsrMatrix direct = la::CsrMatrix::from_sorted(
+      q.rows(), q.cols(), q.row_offsets(), q.col_indices(), q.values());
+  EXPECT_EQ(direct.row_offsets(), q.row_offsets());
+  EXPECT_EQ(direct.col_indices(), q.col_indices());
+  EXPECT_EQ(direct.values(), q.values());
+}
+
+TEST(CsrFastPaths, FromSortedValidatesInvariants) {
+  using Offsets = std::vector<std::size_t>;
+  using Cols = std::vector<std::size_t>;
+  using Vals = std::vector<double>;
+  // Shape mismatch.
+  EXPECT_THROW((void)la::CsrMatrix::from_sorted(2, 2, Offsets{0, 1}, Cols{0}, Vals{1.0}),
+               std::invalid_argument);
+  // Offsets not ending at nnz.
+  EXPECT_THROW((void)la::CsrMatrix::from_sorted(2, 2, Offsets{0, 1, 3}, Cols{0, 1}, Vals{1.0, 2.0}),
+               std::invalid_argument);
+  // Unsorted / duplicate columns within a row.
+  EXPECT_THROW(
+      (void)la::CsrMatrix::from_sorted(1, 3, Offsets{0, 2}, Cols{2, 1}, Vals{1.0, 2.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)la::CsrMatrix::from_sorted(1, 3, Offsets{0, 2}, Cols{1, 1}, Vals{1.0, 2.0}),
+      std::invalid_argument);
+  // Column out of range.
+  EXPECT_THROW((void)la::CsrMatrix::from_sorted(1, 2, Offsets{0, 1}, Cols{2}, Vals{1.0}),
+               std::invalid_argument);
+  // Explicit zero.
+  EXPECT_THROW((void)la::CsrMatrix::from_sorted(1, 2, Offsets{0, 1}, Cols{0}, Vals{0.0}),
+               std::invalid_argument);
+}
+
+TEST(CsrFastPaths, CtmcGeneratorAssemblyMatchesTripletPath) {
+  // Parallel edges, out-of-order insertion, a state with no exits: the
+  // counting assembly must reproduce the triplet path exactly.
+  patchsec::ctmc::Ctmc chain;
+  chain.add_states(4);
+  chain.add_transition(2, 0, 0.5);
+  chain.add_transition(0, 2, 1.5);
+  chain.add_transition(0, 1, 2.0);
+  chain.add_transition(0, 1, 3.0);  // parallel edge: merged
+  chain.add_transition(1, 0, 4.0);
+  const la::CsrMatrix q = chain.generator();
+
+  std::vector<la::Triplet> entries;
+  for (const auto& t : chain.transitions()) {
+    entries.push_back({t.from, t.to, t.rate});
+    entries.push_back({t.from, t.from, -t.rate});
+  }
+  const la::CsrMatrix ref(4, 4, entries);
+  EXPECT_EQ(q.row_offsets(), ref.row_offsets());
+  EXPECT_EQ(q.col_indices(), ref.col_indices());
+  EXPECT_EQ(q.values(), ref.values());
+  EXPECT_DOUBLE_EQ(q.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(q.at(0, 0), -6.5);
+  EXPECT_DOUBLE_EQ(q.row_sum(0), 0.0);
+  EXPECT_EQ(q.at(3, 3), 0.0);  // exit-free state stores no diagonal
+}
+
+// ---------------------------------------------------------------------------
+// Solver equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(StationarySolverEquivalence, BirthDeathOracles) {
+  std::mt19937_64 rng(2017);
+  std::uniform_real_distribution<double> rate(0.2, 5.0);
+  for (std::size_t n : {1u, 2u, 5u, 12u, 40u}) {
+    std::vector<double> birth(n), death(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      birth[i] = rate(rng);
+      death[i] = rate(rng);
+    }
+    const la::CsrMatrix q = birth_death_generator(birth, death);
+    const std::vector<double> oracle = la::birth_death_steady_state(birth, death);
+    la::StationarySolver solver;
+    for (la::SteadyStateMethod method :
+         {la::SteadyStateMethod::kAuto, la::SteadyStateMethod::kGaussSeidel,
+          la::SteadyStateMethod::kPower, la::SteadyStateMethod::kSor}) {
+      la::SteadyStateOptions opt;
+      opt.method = method;
+      // The successive-diff stopping rule leaves ~diff/(1-rate) absolute
+      // error; 1e-14 keeps the longest chain comfortably inside the 1e-10
+      // oracle bar for both the reference and the rewrite.
+      opt.tolerance = 1e-14;
+      const la::SteadyStateResult got = solver.solve(q, opt);
+      EXPECT_TRUE(got.converged);
+      EXPECT_LT(la::max_abs_diff(got.distribution, oracle), 1e-10)
+          << "n=" << n << " method=" << static_cast<int>(method);
+      // And old-vs-new equivalence on the same chain (one sweep of slack:
+      // the longest chains take >10k sweeps and the final crossing sits
+      // below rounding noise).
+      expect_equivalent(q, opt,
+                        "birth-death n=" + std::to_string(n) + " method " +
+                            std::to_string(static_cast<int>(method)),
+                        /*iteration_slack=*/1);
+    }
+  }
+}
+
+TEST(StationarySolverEquivalence, RandomGeneratorFuzz) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const la::CsrMatrix q = random_ergodic_generator(seed);
+    for (la::SteadyStateMethod method :
+         {la::SteadyStateMethod::kAuto, la::SteadyStateMethod::kGaussSeidel,
+          la::SteadyStateMethod::kPower}) {
+      la::SteadyStateOptions opt;
+      opt.method = method;
+      expect_equivalent(q, opt,
+                        "seed " + std::to_string(seed) + " method " +
+                            std::to_string(static_cast<int>(method)));
+    }
+  }
+}
+
+TEST(StationarySolverEquivalence, PaperCaseStudyIterationGuard) {
+  // The acceptance bar: identical distributions (1e-10), identical converged
+  // flags, and never more solver iterations than the classical path on every
+  // SRN the paper pipeline solves.
+  std::size_t index = 0;
+  for (const la::CsrMatrix& q : paper_generators()) {
+    expect_equivalent(q, la::SteadyStateOptions{}, "paper generator " + std::to_string(index++));
+  }
+}
+
+TEST(StationarySolverEquivalence, TightAndLooseTolerances) {
+  const la::CsrMatrix q = random_ergodic_generator(11);
+  for (double tolerance : {1e-8, 1e-10, 1e-14}) {
+    la::SteadyStateOptions opt;
+    opt.tolerance = tolerance;
+    expect_equivalent(q, opt, "tolerance " + std::to_string(tolerance));
+  }
+  // Exhausted budget: both paths report non-convergence the same way.
+  la::SteadyStateOptions opt;
+  opt.method = la::SteadyStateMethod::kGaussSeidel;
+  opt.max_iterations = 2;
+  const la::SteadyStateResult ref = ref_solve(q, opt);
+  la::StationarySolver solver;
+  const la::SteadyStateResult got = solver.solve(q, opt);
+  EXPECT_FALSE(got.converged);
+  EXPECT_EQ(got.iterations, ref.iterations);
+  EXPECT_LT(la::max_abs_diff(got.distribution, ref.distribution), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Workspace reuse.
+// ---------------------------------------------------------------------------
+
+TEST(StationarySolverWorkspace, ReusesTransposeAcrossSameStructureSolves) {
+  const core::Session session(core::Scenario::paper_case_study());
+  const la::CsrMatrix q4 = network_generator(session, 4);
+
+  la::StationarySolver solver;
+  const la::SteadyStateResult first = solver.solve(q4);
+  const la::SteadyStateResult second = solver.solve(q4);
+  EXPECT_EQ(solver.solve_count(), 2u);
+  EXPECT_EQ(solver.transpose_rebuilds(), 1u) << "identical structure must hit the cache";
+  EXPECT_EQ(first.iterations, second.iterations);
+  EXPECT_EQ(first.distribution, second.distribution);
+
+  // Same sparsity, different values (another cadence): still a cache hit,
+  // and the result matches a fresh solver exactly.
+  const auto& rates = session.aggregated_rates(24.0 * 7);
+  const av::NetworkSrn net = av::build_network_srn(ent::RedundancyDesign{{4, 4, 4, 4}}, rates);
+  const la::CsrMatrix q4_weekly = pt::build_reachability_graph(net.model).chain.generator();
+  ASSERT_EQ(q4_weekly.col_indices(), q4.col_indices());
+  const la::SteadyStateResult warm = solver.solve(q4_weekly);
+  EXPECT_EQ(solver.transpose_rebuilds(), 1u);
+  la::StationarySolver fresh;
+  const la::SteadyStateResult cold = fresh.solve(q4_weekly);
+  EXPECT_EQ(warm.iterations, cold.iterations);
+  EXPECT_EQ(warm.distribution, cold.distribution);
+
+  // A different structure rebuilds.
+  const la::CsrMatrix q3 = network_generator(session, 3);
+  (void)solver.solve(q3);
+  EXPECT_EQ(solver.transpose_rebuilds(), 2u);
+
+  // reset() drops the cache.
+  solver.reset();
+  (void)solver.solve(q3);
+  EXPECT_EQ(solver.transpose_rebuilds(), 3u);
+}
+
+TEST(StationarySolverWorkspace, TrivialAndInvalidShapes) {
+  la::StationarySolver solver;
+  EXPECT_THROW((void)solver.solve(la::CsrMatrix()), std::invalid_argument);
+  EXPECT_THROW((void)solver.solve(la::CsrMatrix(2, 3, {})), std::invalid_argument);
+  const la::CsrMatrix one(1, 1, {});
+  const la::SteadyStateResult r = solver.solve(one);
+  EXPECT_TRUE(r.converged);
+  ASSERT_EQ(r.distribution.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.distribution[0], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Stall detection.
+// ---------------------------------------------------------------------------
+
+TEST(StationarySolverStall, AbandonsHopelessGaussSeidelUnderAuto) {
+  // A long, nearly-symmetric birth-death chain: the Gauss-Seidel spectral
+  // radius is ~cos^2(pi/n) -> thousands of sweeps to 1e-12, far beyond the
+  // budget below.  The classical kAuto burned max_iterations twice; the
+  // rewrite must detect the plateau, abandon the sweep early and fall back.
+  const std::size_t n = 64;
+  std::vector<double> birth(n - 1, 1.0), death(n - 1, 1.08);
+  const la::CsrMatrix q = birth_death_generator(birth, death);
+
+  la::SteadyStateOptions opt;
+  opt.method = la::SteadyStateMethod::kAuto;
+  opt.max_iterations = 2000;
+  const la::SteadyStateResult ref = ref_solve(q, opt);
+  ASSERT_FALSE(ref.converged) << "test construction: budget must be insufficient";
+
+  la::StationarySolver solver;
+  const la::SteadyStateResult got = solver.solve(q, opt);
+  EXPECT_FALSE(got.converged);
+  EXPECT_TRUE(got.stalled);
+  EXPECT_EQ(solver.stall_events(), 1u);
+  // The early bail trades the abandoned Gauss-Seidel burn for the power
+  // fallback, so the best-effort answer is never worse than power iteration
+  // alone under the same budget.
+  la::SteadyStateOptions power_only = opt;
+  power_only.method = la::SteadyStateMethod::kPower;
+  const la::SteadyStateResult pw = ref_solve(q, power_only);
+  EXPECT_LE(got.residual, pw.residual * (1.0 + 1e-9));
+
+  // With a budget that suffices, stall detection must stay quiet and the
+  // solve must converge to the oracle.
+  la::SteadyStateOptions generous;
+  generous.method = la::SteadyStateMethod::kAuto;
+  generous.max_iterations = 200000;
+  const la::SteadyStateResult full = solver.solve(q, generous);
+  EXPECT_TRUE(full.converged);
+  EXPECT_FALSE(full.stalled);
+  EXPECT_LT(la::max_abs_diff(full.distribution, la::birth_death_steady_state(birth, death)),
+            1e-9);
+}
+
+}  // namespace
