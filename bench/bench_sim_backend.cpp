@@ -1,0 +1,100 @@
+// Replication-throughput microbenchmarks of the Monte-Carlo evaluation
+// backend: the independent-replication engine on the paper's upper-layer
+// network SRN, serial vs threaded.  The acceptance bar for the threaded
+// engine (Release, 8 threads) is >= 3x the serial replication throughput
+// with bit-identical estimates — the identity is asserted here on every
+// threaded run.
+//
+// Build with -DPATCHSEC_BUILD_BENCH=ON; binary: bench/bench_sim_backend.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "patchsec/avail/network_srn.hpp"
+#include "patchsec/core/session.hpp"
+#include "patchsec/sim/srn_simulator.hpp"
+
+namespace {
+
+namespace av = patchsec::avail;
+namespace core = patchsec::core;
+namespace ent = patchsec::enterprise;
+namespace sm = patchsec::sim;
+
+// One shared fixture: the example network's upper-layer SRN (2 WEB + 2 APP)
+// with the paper's aggregated rates, plus a saturated k=4 variant.
+const av::NetworkSrn& network(unsigned k) {
+  static const core::Session session(core::Scenario::paper_case_study());
+  static const av::NetworkSrn example =
+      av::build_network_srn(ent::example_network_design(), session.aggregated_rates());
+  static const av::NetworkSrn saturated =
+      av::build_network_srn(ent::RedundancyDesign{{4, 4, 4, 4}}, session.aggregated_rates());
+  return k == 4 ? saturated : example;
+}
+
+sm::SimulationOptions bench_options(unsigned threads) {
+  sm::SimulationOptions options;
+  options.seed = 20170626;
+  options.replications = 64;
+  options.warmup_hours = 1000.0;
+  options.horizon_hours = 10000.0;
+  options.threads = threads;
+  return options;
+}
+
+void run_replications(benchmark::State& state, unsigned design_k, unsigned threads) {
+  const av::NetworkSrn& net = network(design_k);
+  const sm::SrnSimulator simulator(net.model);
+  const sm::SimulationOptions options = bench_options(threads);
+  const auto reward = net.coa_reward();
+
+  // Reference estimate for the bit-identity assertion (serial, same seed).
+  sm::SimulationOptions serial_options = options;
+  serial_options.threads = 1;
+  const sm::SimulationEstimate reference =
+      simulator.steady_state_reward_replicated(reward, serial_options);
+
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const sm::SimulationEstimate est =
+        simulator.steady_state_reward_replicated(reward, options);
+    benchmark::DoNotOptimize(est.mean);
+    events += est.diagnostics.events_fired;
+    if (est.mean != reference.mean || est.half_width_95 != reference.half_width_95) {
+      state.SkipWithError("threaded estimate differs from the serial estimate");
+      break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.replications));
+  state.counters["events"] = benchmark::Counter(static_cast<double>(events),
+                                                benchmark::Counter::kIsRate);
+  state.counters["replications_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(options.replications),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ReplicationsSerial(benchmark::State& state) {
+  run_replications(state, static_cast<unsigned>(state.range(0)), 1);
+}
+
+void BM_ReplicationsThreaded(benchmark::State& state) {
+  run_replications(state, static_cast<unsigned>(state.range(0)),
+                   static_cast<unsigned>(state.range(1)));
+}
+
+}  // namespace
+
+// range(0): uniform redundancy k of the design (2 = example network, 4 =
+// saturated); range(1): worker threads.
+BENCHMARK(BM_ReplicationsSerial)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReplicationsThreaded)
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({2, 8})
+    ->Args({4, 8})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -28,6 +28,7 @@
 #include "patchsec/core/session.hpp"
 #include "patchsec/linalg/stationary_solver.hpp"
 #include "patchsec/petri/reachability.hpp"
+#include "patchsec/sim/srn_simulator.hpp"
 
 namespace {
 
@@ -36,6 +37,7 @@ namespace core = patchsec::core;
 namespace ent = patchsec::enterprise;
 namespace la = patchsec::linalg;
 namespace pt = patchsec::petri;
+namespace sm = patchsec::sim;
 
 using Clock = std::chrono::steady_clock;
 
@@ -47,6 +49,7 @@ struct BenchResult {
   std::size_t tangible_states = 0;
   std::size_t ctmc_transitions = 0;
   std::size_t solver_iterations = 0;
+  std::uint64_t events_fired = 0;  ///< simulation benches: Monte-Carlo firings
   bool converged = true;
 };
 
@@ -54,6 +57,7 @@ struct Sample {
   std::size_t tangible_states = 0;
   std::size_t ctmc_transitions = 0;
   std::size_t solver_iterations = 0;
+  std::uint64_t events_fired = 0;
   bool converged = true;
 };
 
@@ -79,6 +83,7 @@ BenchResult run_bench(const std::string& name, std::size_t reps,
   result.tangible_states = sample.tangible_states;
   result.ctmc_transitions = sample.ctmc_transitions;
   result.solver_iterations = sample.solver_iterations;
+  result.events_fired = sample.events_fired;
   result.converged = sample.converged;
   std::printf("%-32s best %10.6fs  mean %10.6fs  states %7zu  iters %6zu%s\n",
               result.name.c_str(), result.wall_seconds_best, result.wall_seconds_mean,
@@ -180,6 +185,51 @@ int main(int argc, char** argv) {
     return s;
   }));
 
+  // Simulation backend: independent-replication throughput on the example
+  // network's upper-layer SRN, serial vs threaded (8 workers).  The threaded
+  // estimate must be bit-identical to the serial one for the same seed;
+  // `converged` records that check.
+  {
+    const core::Session session(core::Scenario::paper_case_study());
+    const av::NetworkSrn net =
+        av::build_network_srn(ent::example_network_design(), session.aggregated_rates());
+    const sm::SrnSimulator simulator(net.model);
+    const pt::RewardFunction reward = net.coa_reward();
+    sm::SimulationOptions sim_options;
+    sim_options.seed = 20170626;
+    sim_options.replications = 64;
+    sim_options.warmup_hours = 1000.0;
+    sim_options.horizon_hours = 10000.0;
+
+    sim_options.threads = 1;
+    const sm::SimulationEstimate serial_reference =
+        simulator.steady_state_reward_replicated(reward, sim_options);
+    results.push_back(run_bench("sim_replications_serial", reps,
+                                [&simulator, &reward, &sim_options]() -> Sample {
+                                  const sm::SimulationEstimate est =
+                                      simulator.steady_state_reward_replicated(reward,
+                                                                               sim_options);
+                                  Sample s;
+                                  s.events_fired = est.diagnostics.events_fired;
+                                  s.solver_iterations = est.diagnostics.replications;
+                                  return s;
+                                }));
+
+    sim_options.threads = 8;
+    results.push_back(run_bench(
+        "sim_replications_threaded8", reps,
+        [&simulator, &reward, &sim_options, &serial_reference]() -> Sample {
+          const sm::SimulationEstimate est =
+              simulator.steady_state_reward_replicated(reward, sim_options);
+          Sample s;
+          s.events_fired = est.diagnostics.events_fired;
+          s.solver_iterations = est.diagnostics.replications;
+          s.converged = est.mean == serial_reference.mean &&
+                        est.half_width_95 == serial_reference.half_width_95;
+          return s;
+        }));
+  }
+
   // Schedule sweep: the five paper designs under six cadences through one
   // Session (memoization + per-thread solver workspace reuse).
   results.push_back(run_bench("schedule_sweep_5x6", reps, []() -> Sample {
@@ -202,7 +252,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "run_benchmarks: cannot write %s\n", output.c_str());
     return 1;
   }
-  out << "{\n  \"schema_version\": 1,\n  \"unit\": \"seconds\",\n  \"repetitions\": " << reps
+  out << "{\n  \"schema_version\": 2,\n  \"unit\": \"seconds\",\n  \"repetitions\": " << reps
       << ",\n  \"benches\": [\n";
   out << std::setprecision(9);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -213,6 +263,7 @@ int main(int argc, char** argv) {
         << ", \"tangible_states\": " << r.tangible_states
         << ", \"ctmc_transitions\": " << r.ctmc_transitions
         << ", \"solver_iterations\": " << r.solver_iterations
+        << ", \"events_fired\": " << r.events_fired
         << ", \"converged\": " << (r.converged ? "true" : "false") << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }

@@ -20,8 +20,20 @@
 #include "patchsec/enterprise/network.hpp"
 #include "patchsec/linalg/steady_state.hpp"
 #include "patchsec/petri/reachability.hpp"
+#include "patchsec/sim/srn_simulator.hpp"
 
 namespace patchsec::core {
+
+/// \brief How a Session turns the upper-layer (network) SRN into the
+/// capacity-oriented availability of an EvalReport.
+enum class EvalBackend : std::uint8_t {
+  /// Reachability graph + steady-state solve (the paper's pipeline).
+  kAnalytic,
+  /// Monte-Carlo independent replications (sim::SrnSimulator): the report's
+  /// COA is the replication mean and carries a 95% confidence half width —
+  /// the statistical oracle of the differential validation harness.
+  kSimulation,
+};
 
 /// \brief End-to-end numerical-engine configuration, threaded from the
 /// facade down to linalg::solve_steady_state on every lower- and upper-layer
@@ -46,6 +58,17 @@ struct EngineOptions {
   bool parallel = false;
   /// Worker count for parallel batches; 0 = std::thread::hardware_concurrency.
   unsigned threads = 0;
+  /// How the upper-layer availability measure is evaluated.  The lower-layer
+  /// aggregation (Table V rates) is analytic in both backends; kSimulation
+  /// replaces the network-SRN steady-state solve with Monte-Carlo
+  /// replications configured by `simulation`.
+  EvalBackend backend = EvalBackend::kAnalytic;
+  /// Replication budget, seed and thread count of the simulation backend
+  /// (ignored by kAnalytic).  Under `parallel` batch evaluation the
+  /// per-evaluation replication fan-out is forced serial so the two thread
+  /// pools do not multiply; estimates are thread-count-invariant, so this
+  /// affects scheduling only.
+  sim::SimulationOptions simulation;
 
   /// The lowered per-solve form handed to the petri/avail layers.
   [[nodiscard]] petri::AnalyzerOptions analyzer_options() const {

@@ -46,18 +46,37 @@ struct EvalReport {
   double coa = 0.0;                    ///< capacity-oriented availability.
   double patch_interval_hours = 720.0;  ///< cadence this report was evaluated at.
 
+  /// Which backend produced the COA (EngineOptions::backend at evaluation).
+  EvalBackend backend = EvalBackend::kAnalytic;
+  /// 95% confidence half width of `coa` when the simulation backend produced
+  /// it; 0 for the (deterministic) analytic backend.
+  double coa_half_width_95 = 0.0;
+  /// Replication counts, events fired and wall time of the simulation
+  /// backend; zeroed under kAnalytic.
+  sim::SimDiagnostics simulation_diagnostics;
+
   /// Lower-layer (server SRN, one per role with a spec) solve diagnostics.
   /// Memoized across reports sharing a (role, patch interval); wall times are
   /// those of the first computation.
   std::map<enterprise::ServerRole, petri::SolveDiagnostics> aggregation_diagnostics;
-  /// Upper-layer (network SRN) solve diagnostics for this design.
+  /// Upper-layer (network SRN) solve diagnostics for this design; default
+  /// under kSimulation (no analytic solve ran).
   petri::SolveDiagnostics availability_diagnostics;
   /// Wall time of this evaluate() call (HARM + upper layer + any lower-layer
   /// aggregation misses).
   double wall_time_seconds = 0.0;
 
-  /// True iff every steady-state solve behind this report converged.
+  /// True iff every steady-state solve behind this report converged (the
+  /// upper-layer solve is exempt under kSimulation, which never runs it).
   [[nodiscard]] bool converged() const noexcept;
+  /// CI-aware cross-backend agreement on COA at z standard errors: the half
+  /// widths of both reports (0 for analytic ones) are rescaled from their
+  /// stored 95% level to z and combined in quadrature; two analytic reports
+  /// compare within round-off (1e-9).  agrees_with(other, 1.96) asks "does
+  /// the other backend's COA fall inside my 95% confidence interval" when
+  /// exactly one of the two reports is simulated — the differential
+  /// harness's acceptance test.
+  [[nodiscard]] bool agrees_with(const EvalReport& other, double z = 1.96) const noexcept;
   /// Total solver iterations across all stages (lower + upper layer).
   [[nodiscard]] std::size_t total_solver_iterations() const noexcept;
   /// The metric payload alone, for APIs speaking the original Evaluator

@@ -1,6 +1,7 @@
 #include "patchsec/core/session.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <chrono>
 #include <exception>
 #include <stdexcept>
@@ -44,11 +45,20 @@ linalg::StationarySolver& availability_workspace() {
 }  // namespace
 
 bool EvalReport::converged() const noexcept {
-  if (!availability_diagnostics.converged) return false;
+  if (backend == EvalBackend::kAnalytic && !availability_diagnostics.converged) return false;
   for (const auto& [role, d] : aggregation_diagnostics) {
     if (!d.converged) return false;
   }
   return true;
+}
+
+bool EvalReport::agrees_with(const EvalReport& other, double z) const noexcept {
+  const double scale = z / 1.96;
+  const double hw_a = coa_half_width_95 * scale;
+  const double hw_b = other.coa_half_width_95 * scale;
+  double combined = std::sqrt(hw_a * hw_a + hw_b * hw_b);
+  if (combined == 0.0) combined = 1e-9;  // two analytic reports: round-off only
+  return std::abs(coa - other.coa) <= combined;
 }
 
 std::size_t EvalReport::total_solver_iterations() const noexcept {
@@ -203,11 +213,28 @@ EvalReport Session::evaluate(const enterprise::RedundancyDesign& design,
   report.patch_interval_hours = patch_interval_hours;
   report.before_patch = security.before_patch;
   report.after_patch = security.after_patch;
+  report.backend = scenario_.engine().backend;
 
-  const avail::CoaEvaluation coa = avail::capacity_oriented_availability_detailed(
-      design, agg.rates, scenario_.engine().analyzer_options(), &availability_workspace());
-  report.coa = coa.coa;
-  report.availability_diagnostics = coa.diagnostics;
+  if (report.backend == EvalBackend::kSimulation) {
+    const avail::NetworkSrn net = avail::build_network_srn(design, agg.rates);
+    const sim::SrnSimulator simulator(net.model);
+    // Parallel batches already saturate the machine with session workers;
+    // replications then run serially inside each worker so the two pools
+    // don't multiply (estimates are thread-count-invariant, so this changes
+    // nothing but the schedule).
+    sim::SimulationOptions sim_options = scenario_.engine().simulation;
+    if (scenario_.engine().parallel) sim_options.threads = 1;
+    const sim::SimulationEstimate est =
+        simulator.steady_state_reward_replicated(net.coa_reward(), sim_options);
+    report.coa = est.mean;
+    report.coa_half_width_95 = est.half_width_95;
+    report.simulation_diagnostics = est.diagnostics;
+  } else {
+    const avail::CoaEvaluation coa = avail::capacity_oriented_availability_detailed(
+        design, agg.rates, scenario_.engine().analyzer_options(), &availability_workspace());
+    report.coa = coa.coa;
+    report.availability_diagnostics = coa.diagnostics;
+  }
   report.aggregation_diagnostics = agg.diagnostics;
   report.wall_time_seconds = seconds_since(start);
   return report;

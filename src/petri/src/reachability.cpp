@@ -9,144 +9,11 @@
 #include <utility>
 
 #include "patchsec/linalg/stationary_solver.hpp"
+#include "patchsec/petri/compiled_net.hpp"
 
 namespace patchsec::petri {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// CompiledNet: the SrnModel flattened for exploration.  Input/inhibitor arcs
-// live in one contiguous array indexed by per-transition spans, firing
-// effects are precomputed net token deltas per touched place, and transitions
-// are partitioned timed/immediate (immediates pre-sorted by priority).  All
-// per-marking work is then branch-light array scanning with zero allocation.
-// ---------------------------------------------------------------------------
-
-struct FlatArc {
-  PlaceId place = 0;
-  TokenCount multiplicity = 0;
-};
-
-struct PlaceDelta {
-  PlaceId place = 0;
-  std::int64_t delta = 0;
-};
-
-struct CompiledTransition {
-  TransitionId id = 0;
-  std::uint32_t in_begin = 0, in_end = 0;        // input arcs (enabling)
-  std::uint32_t inh_begin = 0, inh_end = 0;      // inhibitor arcs
-  std::uint32_t delta_begin = 0, delta_end = 0;  // net firing effect
-  const Guard* guard = nullptr;                  // nullptr when unguarded
-  const RateFunction* rate = nullptr;            // timed transitions only
-  double weight = 0.0;                           // immediates only
-  unsigned priority = 0;                         // immediates only
-};
-
-class CompiledNet {
- public:
-  explicit CompiledNet(const SrnModel& model) {
-    std::vector<std::int64_t> delta_scratch(model.place_count(), 0);
-    std::vector<PlaceId> touched;
-    for (TransitionId t = 0; t < model.transition_count(); ++t) {
-      CompiledTransition ct;
-      ct.id = t;
-      ct.in_begin = static_cast<std::uint32_t>(arcs_.size());
-      for (const Arc& a : model.input_arcs(t)) arcs_.push_back({a.place, a.multiplicity});
-      ct.in_end = static_cast<std::uint32_t>(arcs_.size());
-      ct.inh_begin = ct.in_end;
-      for (const Arc& a : model.inhibitor_arcs(t)) arcs_.push_back({a.place, a.multiplicity});
-      ct.inh_end = static_cast<std::uint32_t>(arcs_.size());
-
-      touched.clear();
-      for (const Arc& a : model.input_arcs(t)) {
-        if (delta_scratch[a.place] == 0) touched.push_back(a.place);
-        delta_scratch[a.place] -= static_cast<std::int64_t>(a.multiplicity);
-      }
-      for (const Arc& a : model.output_arcs(t)) {
-        if (delta_scratch[a.place] == 0) touched.push_back(a.place);
-        delta_scratch[a.place] += static_cast<std::int64_t>(a.multiplicity);
-      }
-      ct.delta_begin = static_cast<std::uint32_t>(deltas_.size());
-      std::sort(touched.begin(), touched.end());
-      for (PlaceId p : touched) {
-        if (delta_scratch[p] != 0) deltas_.push_back({p, delta_scratch[p]});
-        delta_scratch[p] = 0;
-      }
-      ct.delta_end = static_cast<std::uint32_t>(deltas_.size());
-
-      if (model.has_guard(t)) ct.guard = &model.guard(t);
-      if (model.transition_kind(t) == TransitionKind::kTimed) {
-        ct.rate = &model.rate_function(t);
-        timed_.push_back(ct);
-      } else {
-        ct.weight = model.weight(t);
-        ct.priority = model.priority(t);
-        immediates_.push_back(ct);
-      }
-    }
-    // Highest priority first; stable keeps ascending-id order inside a
-    // priority class, matching SrnModel::enabled_immediates.
-    std::stable_sort(immediates_.begin(), immediates_.end(),
-                     [](const CompiledTransition& a, const CompiledTransition& b) {
-                       return a.priority > b.priority;
-                     });
-  }
-
-  [[nodiscard]] bool enabled(const CompiledTransition& t, const Marking& m) const {
-    for (std::uint32_t k = t.in_begin; k < t.in_end; ++k) {
-      if (m[arcs_[k].place] < arcs_[k].multiplicity) return false;
-    }
-    for (std::uint32_t k = t.inh_begin; k < t.inh_end; ++k) {
-      if (m[arcs_[k].place] >= arcs_[k].multiplicity) return false;
-    }
-    if (t.guard != nullptr && !(*t.guard)(m)) return false;
-    return true;
-  }
-
-  /// Successor of firing t in m, written into `out` (capacity reused).  Only
-  /// call with `enabled(t, m)`; `out` must not alias `m`.
-  void fire_into(const CompiledTransition& t, const Marking& m, Marking& out) const {
-    out = m;
-    for (std::uint32_t k = t.delta_begin; k < t.delta_end; ++k) {
-      out[deltas_[k].place] =
-          static_cast<TokenCount>(static_cast<std::int64_t>(out[deltas_[k].place]) +
-                                  deltas_[k].delta);
-    }
-  }
-
-  void enabled_timed_into(const Marking& m, std::vector<const CompiledTransition*>& out) const {
-    out.clear();
-    for (const CompiledTransition& t : timed_) {
-      if (enabled(t, m)) out.push_back(&t);
-    }
-  }
-
-  /// Enabled immediates of maximal priority (same set and order as
-  /// SrnModel::enabled_immediates).
-  void enabled_immediates_into(const Marking& m,
-                               std::vector<const CompiledTransition*>& out) const {
-    out.clear();
-    std::size_t i = 0;
-    for (; i < immediates_.size(); ++i) {
-      if (enabled(immediates_[i], m)) break;
-    }
-    if (i == immediates_.size()) return;
-    const unsigned priority = immediates_[i].priority;
-    out.push_back(&immediates_[i]);
-    for (++i; i < immediates_.size() && immediates_[i].priority == priority; ++i) {
-      if (enabled(immediates_[i], m)) out.push_back(&immediates_[i]);
-    }
-  }
-
-  [[nodiscard]] bool has_immediates() const noexcept { return !immediates_.empty(); }
-
- private:
-  std::vector<FlatArc> arcs_;
-  std::vector<PlaceDelta> deltas_;
-  std::vector<CompiledTransition> timed_;
-  std::vector<CompiledTransition> immediates_;
-};
 
 // ---------------------------------------------------------------------------
 // Explorer: owns every buffer the exploration loop touches, so expanding a
@@ -389,15 +256,6 @@ class MarkingInterner {
   std::vector<std::uint32_t> ids_;
 };
 
-double checked_rate(const SrnModel& model, const CompiledTransition& t, const Marking& m) {
-  const double r = (*t.rate)(m);
-  if (!(r > 0.0) || !std::isfinite(r)) {
-    throw std::domain_error("rate function of " + model.transition_name(t.id) +
-                            " returned non-positive value");
-  }
-  return r;
-}
-
 }  // namespace
 
 std::size_t ReachabilityGraph::index_of(const Marking& m) const {
@@ -490,7 +348,7 @@ ReachabilityGraph build_reachability_graph(const SrnModel& model,
     current = graph.tangible_markings[from];  // copy: the vector may grow
     explorer.net().enabled_timed_into(current, explorer.timed_scratch);
     for (const CompiledTransition* t : explorer.timed_scratch) {
-      const double r = checked_rate(model, *t, current);
+      const double r = explorer.net().checked_rate(*t, current);
       explorer.resolve_firing(*t, current, graph.vanishing_markings_seen);
       for (std::size_t i = 0; i < explorer.successor_count(); ++i) {
         const Explorer::Successor& succ = explorer.successors()[i];

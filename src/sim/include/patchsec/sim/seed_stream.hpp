@@ -1,0 +1,36 @@
+#pragma once
+/// \file seed_stream.hpp
+/// \brief Counter-based seed derivation shared by every component with a
+/// reproduce-from-seed contract: replication r of a simulation, scenario i
+/// of a generator campaign.  `stream_seed(master, index)` depends only on
+/// its arguments — never on thread schedule or prior draws — which is what
+/// makes threaded replications bit-identical to serial ones and lets one
+/// logged u64 rebuild a differential case exactly (docs/TESTING.md).
+///
+/// All users (sim::SrnSimulator, testgen::ScenarioGenerator,
+/// testgen::DifferentialRunner) must derive through this header; private
+/// copies would let the streams drift apart and silently break cross-module
+/// reproduction.
+
+#include <cstdint>
+
+namespace patchsec::sim {
+
+/// splitmix64 finalizer: decorrelates consecutive counters into full-width,
+/// statistically independent 64-bit values.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The seed of stream `index` under `master` (replication index, scenario
+/// counter, ...).  Finalize the master first so nearby master seeds do not
+/// produce overlapping stream families.
+[[nodiscard]] constexpr std::uint64_t stream_seed(std::uint64_t master,
+                                                  std::uint64_t index) noexcept {
+  return splitmix64(splitmix64(master) ^ index);
+}
+
+}  // namespace patchsec::sim

@@ -1,47 +1,109 @@
 #pragma once
-// Discrete-event Monte-Carlo simulation of an SrnModel.  Used as an
-// independent oracle for the analytic (reachability + steady-state) pipeline:
-// the same net, executed by sampling exponential firings, must agree with the
-// solver within confidence bounds.
+/// \file srn_simulator.hpp
+/// \brief Discrete-event Monte-Carlo simulation of an SrnModel.  A
+/// first-class evaluation backend (core::EvalBackend::kSimulation) and the
+/// statistical oracle of the differential validation harness: the same net,
+/// executed by sampling exponential firings, must agree with the analytic
+/// (reachability + steady-state) pipeline within confidence bounds.
+///
+/// Two steady-state engines:
+///  * batch means — one long trajectory split into batches (serial);
+///  * independent replications — many short trajectories, fanned out over
+///    threads.  Each replication draws from its own counter-based RNG stream
+///    (seeded from SimulationOptions::seed and the replication index), so the
+///    estimate is bit-identical for a given seed regardless of thread count.
+///
+/// All engines run on the flattened petri::CompiledNet with reusable
+/// event-loop workspaces (PR 3's allocation-free style): once warm, firing a
+/// transition allocates nothing.
 
 #include <cstdint>
-#include <random>
+#include <functional>
 #include <vector>
 
+#include "patchsec/petri/compiled_net.hpp"
 #include "patchsec/petri/srn_model.hpp"
 
 namespace patchsec::sim {
 
 struct SimulationOptions {
   std::uint64_t seed = 42;
-  double warmup_hours = 2000.0;     ///< discarded transient prefix.
-  double batch_hours = 20000.0;     ///< length of one batch-means batch.
-  std::size_t batches = 16;         ///< number of batches (>= 2).
+  double warmup_hours = 2000.0;  ///< discarded transient prefix (batch means
+                                 ///< and replications alike).
+  // --- batch-means engine ---------------------------------------------------
+  double batch_hours = 20000.0;  ///< length of one batch-means batch.
+  std::size_t batches = 16;      ///< number of batches (>= 2).
+  // --- independent-replication engine --------------------------------------
+  std::size_t replications = 32;   ///< independent trajectories (>= 2).
+  double horizon_hours = 20000.0;  ///< measured horizon per replication
+                                   ///< (after the warmup).
+  unsigned threads = 0;  ///< worker threads for replications; 0 = hardware
+                         ///< concurrency.  Estimates do not depend on this.
+  // --- shared ---------------------------------------------------------------
+  std::size_t max_vanishing_depth = 4096;  ///< immediate-chain bound.
+
+  /// Throws std::invalid_argument with a precise message when any knob is
+  /// unusable: batches < 2, replications < 2, or non-positive (or NaN)
+  /// warmup_hours / batch_hours / horizon_hours.  Every engine validates its
+  /// options through this before running.
+  void validate() const;
+};
+
+/// Per-run execution counters, surfaced next to the estimate (and through
+/// core::EvalReport when the simulation backend produced the report).
+struct SimDiagnostics {
+  std::size_t replications = 0;  ///< replications (or batches) aggregated.
+  double half_width_95 = 0.0;    ///< 95% CI half width of the estimate.
+  std::uint64_t events_fired = 0;  ///< timed + immediate firings executed.
+  double wall_time_seconds = 0.0;
+  unsigned threads_used = 1;
 };
 
 struct SimulationEstimate {
   double mean = 0.0;
-  double half_width_95 = 0.0;  ///< 95% CI half width from batch means.
-  std::size_t batches = 0;
-  double total_time = 0.0;
+  double half_width_95 = 0.0;  ///< 95% CI half width (batch or replication sample).
+  std::size_t batches = 0;     ///< batches or replications aggregated.
+  double total_time = 0.0;     ///< simulated model-time, all trajectories.
+  SimDiagnostics diagnostics;
 
   [[nodiscard]] double lower() const noexcept { return mean - half_width_95; }
   [[nodiscard]] double upper() const noexcept { return mean + half_width_95; }
+  /// True when `value` lies inside the CI rescaled to z standard errors
+  /// (z = 1.96 keeps the stored 95% half width).
+  [[nodiscard]] bool contains(double value, double z = 1.96) const noexcept {
+    const double hw = half_width_95 * (z / 1.96);
+    return value >= mean - hw && value <= mean + hw;
+  }
 };
 
-/// Executes a net trajectory and estimates time-averaged rewards.
+/// Executes net trajectories and estimates time-averaged rewards.  The model
+/// must outlive the simulator.  All methods are const; concurrent calls on
+/// one simulator are safe when the model's guard/rate closures are pure.
 class SrnSimulator {
  public:
   explicit SrnSimulator(const petri::SrnModel& model);
 
-  /// Batch-means estimate of the steady-state (time-averaged) reward.
+  /// Batch-means estimate of the steady-state (time-averaged) reward: one
+  /// trajectory of warmup + batches * batch_hours model-time, serial.
   [[nodiscard]] SimulationEstimate steady_state_reward(const petri::RewardFunction& reward,
-                                                       const SimulationOptions& options = {});
+                                                       const SimulationOptions& options = {}) const;
 
   /// Fraction of time `predicate` holds (availability-style measure).
   [[nodiscard]] SimulationEstimate steady_state_probability(
       const std::function<bool(const petri::Marking&)>& predicate,
-      const SimulationOptions& options = {});
+      const SimulationOptions& options = {}) const;
+
+  /// Independent-replication estimate of the steady-state reward:
+  /// `options.replications` trajectories of warmup + horizon_hours each, CI
+  /// from the replication sample, fanned out over `options.threads` workers.
+  /// Deterministic for a given seed regardless of thread count.
+  [[nodiscard]] SimulationEstimate steady_state_reward_replicated(
+      const petri::RewardFunction& reward, const SimulationOptions& options = {}) const;
+
+  /// Replicated probability estimate (see steady_state_reward_replicated).
+  [[nodiscard]] SimulationEstimate steady_state_probability_replicated(
+      const std::function<bool(const petri::Marking&)>& predicate,
+      const SimulationOptions& options = {}) const;
 
   /// Transient estimate by independent replications: E[reward(marking at
   /// time t)] starting from the initial marking.  The Monte-Carlo
@@ -49,10 +111,11 @@ class SrnSimulator {
   /// replication sample.
   [[nodiscard]] SimulationEstimate transient_reward(const petri::RewardFunction& reward,
                                                     double t, std::size_t replications = 2000,
-                                                    std::uint64_t seed = 42);
+                                                    std::uint64_t seed = 42) const;
 
  private:
   const petri::SrnModel& model_;
+  petri::CompiledNet net_;
 };
 
 }  // namespace patchsec::sim

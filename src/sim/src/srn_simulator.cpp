@@ -1,162 +1,351 @@
 #include "patchsec/sim/srn_simulator.hpp"
 
+#include "patchsec/sim/seed_stream.hpp"
+
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <exception>
+#include <mutex>
+#include <random>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace patchsec::sim {
 
 namespace {
 
+using petri::CompiledNet;
+using petri::CompiledTransition;
 using petri::Marking;
-using petri::SrnModel;
-using petri::TransitionId;
 
-// Reusable per-run buffers: the event loop fires millions of transitions, so
-// the enumeration scratch, the double-buffered marking and the firing target
-// are allocated once and recycled (SrnModel's *_into API).
-struct SimScratch {
-  std::vector<TransitionId> enabled;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Replication i's RNG stream is independent of i's neighbors and of which
+// thread runs it (the shared counter-based derivation of seed_stream.hpp).
+std::mt19937_64 replication_rng(std::uint64_t seed, std::uint64_t replication) {
+  return std::mt19937_64(stream_seed(seed, replication));
+}
+
+// Reusable per-trajectory buffers: the event loop fires millions of
+// transitions, so the enabled list, the per-transition rates, the
+// double-buffered marking and the firing target are allocated once and
+// recycled.  One workspace per thread; never shared.
+struct EventLoopWorkspace {
+  std::vector<const CompiledTransition*> enabled;
+  std::vector<double> rates;
+  Marking marking;
   Marking next;
+  std::uint64_t events = 0;
 };
 
 // Follow immediate transitions until a tangible marking is reached, sampling
-// among competing immediates by weight.  `m` is settled in place.
-void settle(const SrnModel& model, Marking& m, std::mt19937_64& rng, SimScratch& scratch) {
-  for (std::size_t depth = 0; depth < 4096; ++depth) {
-    model.enabled_immediates_into(m, scratch.enabled);
-    if (scratch.enabled.empty()) return;
+// among competing immediates by weight.  ws.marking is settled in place.
+void settle(const CompiledNet& net, EventLoopWorkspace& ws, std::mt19937_64& rng,
+            std::size_t max_depth) {
+  if (!net.has_immediates()) return;
+  for (std::size_t depth = 0; depth <= max_depth; ++depth) {
+    net.enabled_immediates_into(ws.marking, ws.enabled);
+    if (ws.enabled.empty()) return;
     double total = 0.0;
-    for (TransitionId t : scratch.enabled) total += model.weight(t);
+    for (const CompiledTransition* t : ws.enabled) total += t->weight;
     std::uniform_real_distribution<double> u(0.0, total);
     double pick = u(rng);
-    TransitionId chosen = scratch.enabled.back();
-    for (TransitionId t : scratch.enabled) {
-      pick -= model.weight(t);
+    const CompiledTransition* chosen = ws.enabled.back();
+    for (const CompiledTransition* t : ws.enabled) {
+      pick -= t->weight;
       if (pick <= 0.0) {
         chosen = t;
         break;
       }
     }
-    model.fire_into(chosen, m, scratch.next);
-    m.swap(scratch.next);
+    net.fire_into(*chosen, ws.marking, ws.next);
+    ws.marking.swap(ws.next);
+    ++ws.events;
   }
   throw std::runtime_error("simulator: vanishing loop detected");
 }
 
+// Advance the trajectory by `horizon` model-time hours.  When `reward` is
+// non-null, returns the integral of reward(marking) dt over the horizon;
+// otherwise returns 0 (pure warmup).  ws.marking must be tangible on entry
+// and is tangible on exit.
+double advance(const CompiledNet& net, const petri::RewardFunction* reward, double horizon,
+               EventLoopWorkspace& ws, std::mt19937_64& rng, std::size_t max_depth) {
+  double reward_time = 0.0;
+  double t = 0.0;
+  while (t < horizon) {
+    net.enabled_timed_into(ws.marking, ws.enabled);
+    if (ws.enabled.empty()) {
+      // Dead marking: the reward holds for the remainder of the horizon.
+      if (reward != nullptr) reward_time += (*reward)(ws.marking) * (horizon - t);
+      return reward_time;
+    }
+    ws.rates.clear();
+    double total_rate = 0.0;
+    for (const CompiledTransition* tr : ws.enabled) {
+      const double r = net.checked_rate(*tr, ws.marking);
+      ws.rates.push_back(r);
+      total_rate += r;
+    }
+    std::exponential_distribution<double> dwell_dist(total_rate);
+    double dwell = dwell_dist(rng);
+    if (t + dwell > horizon) dwell = horizon - t;
+    if (reward != nullptr) reward_time += (*reward)(ws.marking) * dwell;
+    t += dwell;
+    if (t >= horizon) return reward_time;
+
+    std::uniform_real_distribution<double> u(0.0, total_rate);
+    double pick = u(rng);
+    const CompiledTransition* chosen = ws.enabled.back();
+    for (std::size_t i = 0; i < ws.enabled.size(); ++i) {
+      pick -= ws.rates[i];
+      if (pick <= 0.0) {
+        chosen = ws.enabled[i];
+        break;
+      }
+    }
+    net.fire_into(*chosen, ws.marking, ws.next);
+    ws.marking.swap(ws.next);
+    ++ws.events;
+    settle(net, ws, rng, max_depth);
+  }
+  return reward_time;
+}
+
+// Student-t 97.5% quantile: exact table for dof <= 8 (where the expansion
+// below is off by up to 44%), then the Cornish-Fisher expansion around the
+// normal quantile (exact to three decimals for dof >= 9).  Small
+// replication/batch counts need t, not z — a z-based CI under-covers (93%
+// instead of 95% at n = 16), which the differential harness would see as
+// excess statistical misses.
+double t_quantile_975(std::size_t dof) {
+  static constexpr double kExact[] = {12.7062, 4.3027, 3.1824, 2.7764,
+                                      2.5706,  2.4469, 2.3646, 2.3060};
+  if (dof == 0) return kExact[0];  // unreachable: validate() requires n >= 2
+  if (dof <= 8) return kExact[dof - 1];
+  const double z = 1.959963985;
+  const double v = static_cast<double>(dof);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  return z + (z3 + z) / (4.0 * v) + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * v * v);
+}
+
+// Sample mean and 95% CI half width of `values` (n >= 2), summed in index
+// order so the result is independent of how the values were produced.
+void mean_and_half_width(const std::vector<double>& values, double& mean, double& half_width) {
+  const double n = static_cast<double>(values.size());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  mean = sum / n;
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= n - 1.0;
+  half_width = t_quantile_975(values.size() - 1) * std::sqrt(var / n);
+}
+
+petri::RewardFunction indicator(const std::function<bool(const Marking&)>& predicate) {
+  return [&predicate](const Marking& m) { return predicate(m) ? 1.0 : 0.0; };
+}
+
 }  // namespace
 
-SrnSimulator::SrnSimulator(const petri::SrnModel& model) : model_(model) {}
+void SimulationOptions::validate() const {
+  if (batches < 2) throw std::invalid_argument("SimulationOptions: need at least 2 batches");
+  if (!(warmup_hours > 0.0)) {
+    throw std::invalid_argument("SimulationOptions: warmup_hours must be positive");
+  }
+  if (!(batch_hours > 0.0)) {
+    throw std::invalid_argument("SimulationOptions: batch_hours must be positive");
+  }
+  if (replications < 2) {
+    throw std::invalid_argument("SimulationOptions: need at least 2 replications");
+  }
+  if (!(horizon_hours > 0.0)) {
+    throw std::invalid_argument("SimulationOptions: horizon_hours must be positive");
+  }
+}
+
+SrnSimulator::SrnSimulator(const petri::SrnModel& model) : model_(model), net_(model) {}
 
 SimulationEstimate SrnSimulator::steady_state_reward(const petri::RewardFunction& reward,
-                                                     const SimulationOptions& options) {
+                                                     const SimulationOptions& options) const {
   if (!reward) throw std::invalid_argument("steady_state_reward: null reward");
-  if (options.batches < 2) throw std::invalid_argument("need at least 2 batches");
-  if (!(options.batch_hours > 0.0)) throw std::invalid_argument("batch_hours must be positive");
+  options.validate();
 
+  const auto start = Clock::now();
   std::mt19937_64 rng(options.seed);
-  SimScratch scratch;
-  Marking m = model_.initial_marking();
-  settle(model_, m, rng, scratch);
+  EventLoopWorkspace ws;
+  ws.marking = model_.initial_marking();
+  settle(net_, ws, rng, options.max_vanishing_depth);
 
-  const auto advance = [&](double horizon, bool accumulate, double& reward_time) -> void {
-    double t = 0.0;
-    while (t < horizon) {
-      model_.enabled_timed_into(m, scratch.enabled);
-      if (scratch.enabled.empty()) {
-        // Dead marking: the reward holds for the remainder of the horizon.
-        if (accumulate) reward_time += reward(m) * (horizon - t);
-        return;
-      }
-      double total_rate = 0.0;
-      for (TransitionId tr : scratch.enabled) total_rate += model_.rate(tr, m);
-      std::exponential_distribution<double> dwell_dist(total_rate);
-      double dwell = dwell_dist(rng);
-      if (t + dwell > horizon) dwell = horizon - t;
-      if (accumulate) reward_time += reward(m) * dwell;
-      t += dwell;
-      if (t >= horizon) return;
-
-      std::uniform_real_distribution<double> u(0.0, total_rate);
-      double pick = u(rng);
-      TransitionId chosen = scratch.enabled.back();
-      for (TransitionId tr : scratch.enabled) {
-        pick -= model_.rate(tr, m);
-        if (pick <= 0.0) {
-          chosen = tr;
-          break;
-        }
-      }
-      model_.fire_into(chosen, m, scratch.next);
-      m.swap(scratch.next);
-      settle(model_, m, rng, scratch);
-    }
-  };
-
-  double unused = 0.0;
-  advance(options.warmup_hours, false, unused);
+  (void)advance(net_, nullptr, options.warmup_hours, ws, rng, options.max_vanishing_depth);
 
   std::vector<double> batch_means;
   batch_means.reserve(options.batches);
   for (std::size_t b = 0; b < options.batches; ++b) {
-    double reward_time = 0.0;
-    advance(options.batch_hours, true, reward_time);
+    const double reward_time =
+        advance(net_, &reward, options.batch_hours, ws, rng, options.max_vanishing_depth);
     batch_means.push_back(reward_time / options.batch_hours);
   }
 
-  double mean = 0.0;
-  for (double v : batch_means) mean += v;
-  mean /= static_cast<double>(batch_means.size());
-  double var = 0.0;
-  for (double v : batch_means) var += (v - mean) * (v - mean);
-  var /= static_cast<double>(batch_means.size() - 1);
-
   SimulationEstimate est;
-  est.mean = mean;
-  est.half_width_95 = 1.96 * std::sqrt(var / static_cast<double>(batch_means.size()));
+  mean_and_half_width(batch_means, est.mean, est.half_width_95);
   est.batches = batch_means.size();
-  est.total_time = options.warmup_hours +
-                   options.batch_hours * static_cast<double>(options.batches);
+  est.total_time =
+      options.warmup_hours + options.batch_hours * static_cast<double>(options.batches);
+  est.diagnostics.replications = batch_means.size();
+  est.diagnostics.half_width_95 = est.half_width_95;
+  est.diagnostics.events_fired = ws.events;
+  est.diagnostics.threads_used = 1;
+  est.diagnostics.wall_time_seconds = seconds_since(start);
   return est;
 }
 
+SimulationEstimate SrnSimulator::steady_state_reward_replicated(
+    const petri::RewardFunction& reward, const SimulationOptions& options) const {
+  if (!reward) throw std::invalid_argument("steady_state_reward_replicated: null reward");
+  options.validate();
+
+  const auto start = Clock::now();
+  const std::size_t n = options.replications;
+  std::vector<double> rep_means(n, 0.0);
+  std::vector<std::uint64_t> rep_events(n, 0);
+
+  // Each replication is an independent trajectory with its own counter-based
+  // RNG stream and workspace; results land in per-replication slots, so the
+  // threaded run computes exactly what the serial run computes, in any
+  // schedule.  The final reduction below is serial and index-ordered, which
+  // makes the estimate bit-identical across thread counts.
+  const auto run_replication = [&](std::size_t i, EventLoopWorkspace& ws) {
+    std::mt19937_64 rng = replication_rng(options.seed, i);
+    const std::uint64_t events_before = ws.events;
+    ws.marking = model_.initial_marking();
+    settle(net_, ws, rng, options.max_vanishing_depth);
+    (void)advance(net_, nullptr, options.warmup_hours, ws, rng, options.max_vanishing_depth);
+    const double reward_time =
+        advance(net_, &reward, options.horizon_hours, ws, rng, options.max_vanishing_depth);
+    rep_means[i] = reward_time / options.horizon_hours;
+    rep_events[i] = ws.events - events_before;
+  };
+
+  unsigned workers = options.threads != 0 ? options.threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > n) workers = static_cast<unsigned>(n);
+
+  if (workers <= 1) {
+    EventLoopWorkspace ws;
+    for (std::size_t i = 0; i < n; ++i) run_replication(i, ws);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    const auto worker = [&] {
+      EventLoopWorkspace ws;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        try {
+          run_replication(i, ws);
+        } catch (...) {
+          next.store(n);  // cancel the remaining queue: fail fast
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    try {
+      for (unsigned t = 0; t < workers; ++t) threads.emplace_back(worker);
+    } catch (...) {
+      next.store(n);
+      for (std::thread& t : threads) t.join();
+      throw;
+    }
+    for (std::thread& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  SimulationEstimate est;
+  mean_and_half_width(rep_means, est.mean, est.half_width_95);
+  est.batches = n;
+  est.total_time = static_cast<double>(n) * (options.warmup_hours + options.horizon_hours);
+  est.diagnostics.replications = n;
+  est.diagnostics.half_width_95 = est.half_width_95;
+  for (std::uint64_t e : rep_events) est.diagnostics.events_fired += e;
+  est.diagnostics.threads_used = workers;
+  est.diagnostics.wall_time_seconds = seconds_since(start);
+  return est;
+}
+
+SimulationEstimate SrnSimulator::steady_state_probability(
+    const std::function<bool(const petri::Marking&)>& predicate,
+    const SimulationOptions& options) const {
+  if (!predicate) throw std::invalid_argument("steady_state_probability: null predicate");
+  return steady_state_reward(indicator(predicate), options);
+}
+
+SimulationEstimate SrnSimulator::steady_state_probability_replicated(
+    const std::function<bool(const petri::Marking&)>& predicate,
+    const SimulationOptions& options) const {
+  if (!predicate) {
+    throw std::invalid_argument("steady_state_probability_replicated: null predicate");
+  }
+  return steady_state_reward_replicated(indicator(predicate), options);
+}
+
 SimulationEstimate SrnSimulator::transient_reward(const petri::RewardFunction& reward, double t,
-                                                  std::size_t replications, std::uint64_t seed) {
+                                                  std::size_t replications,
+                                                  std::uint64_t seed) const {
   if (!reward) throw std::invalid_argument("transient_reward: null reward");
   if (t < 0.0) throw std::invalid_argument("transient_reward: negative time");
   if (replications < 2) throw std::invalid_argument("transient_reward: need >= 2 replications");
 
+  const auto start = Clock::now();
+  constexpr std::size_t kMaxDepth = 4096;
   std::mt19937_64 rng(seed);
-  SimScratch scratch;
+  EventLoopWorkspace ws;
   double sum = 0.0, sum_sq = 0.0;
-  Marking m;
   for (std::size_t rep = 0; rep < replications; ++rep) {
-    m = model_.initial_marking();
-    settle(model_, m, rng, scratch);
+    ws.marking = model_.initial_marking();
+    settle(net_, ws, rng, kMaxDepth);
     double now = 0.0;
     while (now < t) {
-      model_.enabled_timed_into(m, scratch.enabled);
-      if (scratch.enabled.empty()) break;  // dead marking holds until t
+      net_.enabled_timed_into(ws.marking, ws.enabled);
+      if (ws.enabled.empty()) break;  // dead marking holds until t
+      ws.rates.clear();
       double total_rate = 0.0;
-      for (TransitionId tr : scratch.enabled) total_rate += model_.rate(tr, m);
+      for (const CompiledTransition* tr : ws.enabled) {
+        const double r = net_.checked_rate(*tr, ws.marking);
+        ws.rates.push_back(r);
+        total_rate += r;
+      }
       std::exponential_distribution<double> dwell(total_rate);
       now += dwell(rng);
       if (now >= t) break;
       std::uniform_real_distribution<double> u(0.0, total_rate);
       double pick = u(rng);
-      TransitionId chosen = scratch.enabled.back();
-      for (TransitionId tr : scratch.enabled) {
-        pick -= model_.rate(tr, m);
+      const CompiledTransition* chosen = ws.enabled.back();
+      for (std::size_t i = 0; i < ws.enabled.size(); ++i) {
+        pick -= ws.rates[i];
         if (pick <= 0.0) {
-          chosen = tr;
+          chosen = ws.enabled[i];
           break;
         }
       }
-      model_.fire_into(chosen, m, scratch.next);
-      m.swap(scratch.next);
-      settle(model_, m, rng, scratch);
+      net_.fire_into(*chosen, ws.marking, ws.next);
+      ws.marking.swap(ws.next);
+      ++ws.events;
+      settle(net_, ws, rng, kMaxDepth);
     }
-    const double value = reward(m);
+    const double value = reward(ws.marking);
     sum += value;
     sum_sq += value * value;
   }
@@ -164,18 +353,15 @@ SimulationEstimate SrnSimulator::transient_reward(const petri::RewardFunction& r
   SimulationEstimate est;
   est.mean = sum / n;
   const double var = std::max(0.0, (sum_sq - n * est.mean * est.mean) / (n - 1.0));
-  est.half_width_95 = 1.96 * std::sqrt(var / n);
+  est.half_width_95 = t_quantile_975(replications - 1) * std::sqrt(var / n);
   est.batches = replications;
   est.total_time = t * n;
+  est.diagnostics.replications = replications;
+  est.diagnostics.half_width_95 = est.half_width_95;
+  est.diagnostics.events_fired = ws.events;
+  est.diagnostics.threads_used = 1;
+  est.diagnostics.wall_time_seconds = seconds_since(start);
   return est;
-}
-
-SimulationEstimate SrnSimulator::steady_state_probability(
-    const std::function<bool(const petri::Marking&)>& predicate,
-    const SimulationOptions& options) {
-  if (!predicate) throw std::invalid_argument("steady_state_probability: null predicate");
-  return steady_state_reward(
-      [&predicate](const Marking& m) { return predicate(m) ? 1.0 : 0.0; }, options);
 }
 
 }  // namespace patchsec::sim

@@ -1,0 +1,85 @@
+#pragma once
+/// \file scenario_generator.hpp
+/// \brief Seeded generator of randomized-but-valid evaluation scenarios for
+/// the differential validation harness: perturbed server specs (failure /
+/// recovery / reboot mean times scaled log-uniformly), randomized redundancy
+/// designs and patch cadences, perturbed reachability-policy guards, plus
+/// deliberately degenerate shapes (single host everywhere, near-zero repair
+/// rate, saturated capacity, rapid patch cadence).
+///
+/// Determinism contract: scenario i of `ScenarioGenerator(options)` depends
+/// only on (options.seed, i) — never on thread count, previous draws of other
+/// scenarios, or platform.  Every GeneratedScenario logs its own
+/// `scenario_seed`, and `ScenarioGenerator::from_seed(scenario_seed)`
+/// rebuilds it exactly, so a differential failure reproduces from one number.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "patchsec/core/scenario.hpp"
+
+namespace patchsec::testgen {
+
+struct GeneratorOptions {
+  std::uint64_t seed = 20170626;  ///< campaign seed; scenario i derives from (seed, i).
+  unsigned max_servers_per_role = 4;        ///< design counts drawn from [1, max].
+  double min_patch_interval_hours = 96.0;   ///< cadence drawn log-uniformly ...
+  double max_patch_interval_hours = 2160.0;  ///< ... within [min, max].
+  /// Mean times are scaled by a log-uniform factor in [1/f, f].
+  double rate_perturbation_factor = 3.0;
+  /// Fraction of scenarios forced into a degenerate shape (the shape itself
+  /// is drawn uniformly from the four below, so short campaigns may miss
+  /// some shapes); the rest are fully randomized.
+  double degenerate_fraction = 0.25;
+};
+
+/// The deliberately pathological corners the generator injects.
+enum class DegenerateShape : std::uint8_t {
+  kNone,             ///< fully randomized scenario.
+  kSingleHost,       ///< no redundancy anywhere: one server per role.
+  kGlacialRepair,    ///< near-zero recovery rate: reboots take hundreds of
+                     ///< hours, so mu_eq collapses and tiers sit down.
+  kSaturatedCapacity,  ///< every role at max_servers_per_role.
+  kRapidCadence,     ///< patching at the minimum cadence: the patch window
+                     ///< dominates the trajectory.
+};
+
+[[nodiscard]] const char* to_string(DegenerateShape shape) noexcept;
+
+struct GeneratedScenario {
+  core::Scenario scenario;  ///< valid (Scenario::validate passes); engine left default.
+  enterprise::RedundancyDesign design;  ///< the design to evaluate (== designs().front()).
+  std::uint64_t scenario_seed = 0;  ///< reproduces this scenario via from_seed().
+  DegenerateShape shape = DegenerateShape::kNone;
+  std::string label;  ///< human-readable shape tag for logs/reports.
+};
+
+class ScenarioGenerator {
+ public:
+  explicit ScenarioGenerator(GeneratorOptions options = {});
+
+  [[nodiscard]] const GeneratorOptions& options() const noexcept { return options_; }
+
+  /// The next scenario of the stream (scenario index advances by one).
+  [[nodiscard]] GeneratedScenario next();
+
+  /// The next `count` scenarios.
+  [[nodiscard]] std::vector<GeneratedScenario> generate(std::size_t count);
+
+  /// Rebuild one scenario from its logged per-scenario seed.  Options other
+  /// than `seed` must match the generating run for an exact reproduction.
+  [[nodiscard]] static GeneratedScenario from_seed(std::uint64_t scenario_seed,
+                                                   const GeneratorOptions& options = {});
+
+  /// The per-scenario seed of scenario `index` under `campaign_seed` (the
+  /// value next() logs).
+  [[nodiscard]] static std::uint64_t scenario_seed_for(std::uint64_t campaign_seed,
+                                                       std::uint64_t index) noexcept;
+
+ private:
+  GeneratorOptions options_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace patchsec::testgen

@@ -1,0 +1,99 @@
+// CLI for the differential validation harness (see docs/TESTING.md).
+//
+//   differential_runner [--scenarios N] [--seed S] [--z Z]
+//                       [--allowed-misses M] [--threads T] [--quick]
+//                       [--repro SCENARIO_SEED] [--output PATH]
+//
+//   --quick    reduced replication budget (CI smoke: fewer/shorter
+//              replications); the pass/fail semantics are unchanged.
+//   --repro    replay ONE scenario from the seed a previous run logged,
+//              print its verdict and exit (0 = inside CI).
+//
+// Exit status: 0 when misses <= allowed_misses (or the repro case agrees),
+// 1 otherwise, 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "patchsec/testgen/differential_runner.hpp"
+
+namespace {
+
+void print_case(const patchsec::testgen::DifferentialCase& c) {
+  std::printf("%s seed=%llu %-45s analytic=%.9f sim=%.9f +/-%.9f\n",
+              c.inside_ci ? "PASS" : "MISS", static_cast<unsigned long long>(c.scenario_seed),
+              c.label.c_str(), c.analytic_coa, c.simulated_coa, c.half_width_95);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  patchsec::testgen::DifferentialOptions options;
+  std::string output;
+  bool repro = false;
+  std::uint64_t repro_seed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next_arg = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scenarios") == 0) {
+      options.scenarios = std::strtoull(next_arg("--scenarios"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      options.generator.seed = std::strtoull(next_arg("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--z") == 0) {
+      options.z = std::strtod(next_arg("--z"), nullptr);
+    } else if (std::strcmp(argv[i], "--allowed-misses") == 0) {
+      options.allowed_misses = std::strtoull(next_arg("--allowed-misses"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      options.simulation.threads =
+          static_cast<unsigned>(std::strtoul(next_arg("--threads"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      options.simulation.replications = 16;
+      options.simulation.warmup_hours = 1500.0;
+      options.simulation.horizon_hours = 10000.0;
+    } else if (std::strcmp(argv[i], "--repro") == 0) {
+      repro = true;
+      repro_seed = std::strtoull(next_arg("--repro"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--output") == 0) {
+      output = next_arg("--output");
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scenarios N] [--seed S] [--z Z] [--allowed-misses M]\n"
+                   "          [--threads T] [--quick] [--repro SCENARIO_SEED] [--output PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  if (repro) {
+    const auto c = patchsec::testgen::DifferentialRunner::run_one(repro_seed, options);
+    print_case(c);
+    return c.inside_ci ? 0 : 1;
+  }
+
+  const patchsec::testgen::DifferentialRunner runner(options);
+  const patchsec::testgen::DifferentialReport report = runner.run();
+  for (const auto& c : report.cases) print_case(c);
+  std::printf("differential: %zu/%zu inside the %.2f-sigma CI (%zu misses, budget %zu)\n",
+              report.cases.size() - report.misses, report.cases.size(), report.z, report.misses,
+              options.allowed_misses);
+
+  if (!output.empty()) {
+    std::ofstream out(output);
+    if (!out) {
+      std::fprintf(stderr, "differential_runner: cannot write %s\n", output.c_str());
+      return 2;
+    }
+    out << report.to_json();
+    std::printf("wrote %s\n", output.c_str());
+  }
+  return report.passed(options.allowed_misses) ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// The differential validation sweep (ctest label `differential`): >= 50
+// generated scenarios, each evaluated through the analytic pipeline AND the
+// Monte-Carlo replication oracle, asserting every analytic capacity-oriented
+// availability falls inside the simulation's 95% confidence interval.
+//
+// At 95% coverage a few statistical misses are expected and budgeted
+// (allowed_misses, the issue's "<= 2 documented statistical misses at
+// z = 1.96"); the run is deterministic for the committed campaign seed, so
+// this suite is NOT flaky — a new miss means the analytic pipeline (or the
+// simulator) actually changed.  Reproduce any miss from its logged seed:
+//
+//   differential_runner --repro <scenario_seed>
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "patchsec/testgen/differential_runner.hpp"
+
+namespace tg = patchsec::testgen;
+
+TEST(Differential, FiftyScenariosAgreeWithinConfidence) {
+  tg::DifferentialOptions options;  // 50 scenarios, default replication budget
+  ASSERT_GE(options.scenarios, 50u);
+  ASSERT_LE(options.allowed_misses, 2u);
+
+  const tg::DifferentialReport report = tg::DifferentialRunner(options).run();
+  ASSERT_EQ(report.cases.size(), options.scenarios);
+
+  for (const auto& c : report.cases) {
+    EXPECT_TRUE(c.analytic_converged) << c.label << " seed=" << c.scenario_seed;
+  }
+  std::string misses;
+  for (const auto& c : report.cases) {
+    if (!c.inside_ci) {
+      misses += "  seed=" + std::to_string(c.scenario_seed) + " " + c.label + "\n";
+    }
+  }
+  EXPECT_TRUE(report.passed(options.allowed_misses))
+      << report.misses << " misses exceed the statistical budget of "
+      << options.allowed_misses << ":\n"
+      << misses << "reproduce with: differential_runner --repro <seed>";
+}
+
+// Degenerate corners must agree too, not just the random bulk: sweep a
+// dedicated stream with half the scenarios forced degenerate.  The budget is
+// proportionally looser only through the same allowed-misses rule.
+TEST(Differential, DegenerateHeavyStreamAgrees) {
+  tg::DifferentialOptions options;
+  options.scenarios = 24;
+  options.allowed_misses = 2;
+  options.generator.seed = 77001;
+  options.generator.degenerate_fraction = 0.5;
+
+  const tg::DifferentialReport report = tg::DifferentialRunner(options).run();
+  std::string misses;
+  for (const auto& c : report.cases) {
+    if (!c.inside_ci) {
+      misses += "  seed=" + std::to_string(c.scenario_seed) + " " + c.label + "\n";
+    }
+  }
+  EXPECT_TRUE(report.passed(options.allowed_misses)) << misses;
+}

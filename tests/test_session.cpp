@@ -377,3 +377,91 @@ TEST(EvaluatorShim, StaysCopyableLikeTheOriginal) {
   EXPECT_DOUBLE_EQ(copy.patch_interval_hours(), 168.0);
   EXPECT_EQ(&copy.aggregated_rates(), &shim.aggregated_rates());  // shared session
 }
+
+// ---------------------------------------------------------------------------
+// EvalBackend::kSimulation: the Monte-Carlo evaluation path through Session.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+core::Scenario simulation_scenario(std::uint64_t seed, unsigned threads = 1) {
+  core::EngineOptions engine;
+  engine.backend = core::EvalBackend::kSimulation;
+  engine.simulation.seed = seed;
+  engine.simulation.replications = 16;
+  engine.simulation.warmup_hours = 1000.0;
+  engine.simulation.horizon_hours = 8000.0;
+  engine.simulation.threads = threads;
+  return core::Scenario::paper_case_study().with_engine(engine);
+}
+
+}  // namespace
+
+TEST(SessionBackend, SimulationBackendAgreesWithAnalytic) {
+  const ent::RedundancyDesign design{{1, 2, 2, 1}};
+  const core::Session analytic(core::Scenario::paper_case_study());
+  const core::EvalReport analytic_report = analytic.evaluate(design);
+  EXPECT_EQ(analytic_report.backend, core::EvalBackend::kAnalytic);
+  EXPECT_DOUBLE_EQ(analytic_report.coa_half_width_95, 0.0);
+
+  const core::Session simulated(simulation_scenario(4242));
+  const core::EvalReport sim_report = simulated.evaluate(design);
+  EXPECT_EQ(sim_report.backend, core::EvalBackend::kSimulation);
+  EXPECT_GT(sim_report.coa_half_width_95, 0.0);
+  EXPECT_GT(sim_report.simulation_diagnostics.events_fired, 0u);
+  EXPECT_EQ(sim_report.simulation_diagnostics.replications, 16u);
+  EXPECT_TRUE(sim_report.converged());  // lower layer analytic + no upper solve
+
+  // Cross-backend agreement at a generous 4-sigma (single fixed seed).
+  EXPECT_TRUE(sim_report.agrees_with(analytic_report, 4.0));
+  EXPECT_TRUE(analytic_report.agrees_with(sim_report, 4.0));
+  EXPECT_NEAR(sim_report.coa, analytic_report.coa, 0.01);
+
+  // The HARM (security) side is backend-independent.
+  EXPECT_DOUBLE_EQ(sim_report.before_patch.attack_impact,
+                   analytic_report.before_patch.attack_impact);
+  EXPECT_EQ(sim_report.after_patch.exploitable_vulnerabilities,
+            analytic_report.after_patch.exploitable_vulnerabilities);
+}
+
+TEST(SessionBackend, SimulationEstimatesAreThreadCountInvariant) {
+  const ent::RedundancyDesign design{{2, 2, 2, 2}};
+  const core::Session serial(simulation_scenario(99, 1));
+  const core::Session threaded(simulation_scenario(99, 6));
+  const core::EvalReport a = serial.evaluate(design);
+  const core::EvalReport b = threaded.evaluate(design);
+  EXPECT_DOUBLE_EQ(a.coa, b.coa);
+  EXPECT_DOUBLE_EQ(a.coa_half_width_95, b.coa_half_width_95);
+  EXPECT_EQ(a.simulation_diagnostics.events_fired, b.simulation_diagnostics.events_fired);
+}
+
+TEST(SessionBackend, AgreesWithSemantics) {
+  core::EvalReport a;
+  a.coa = 0.995;
+  core::EvalReport b;
+  b.coa = 0.995 + 1e-12;
+  // Two analytic reports: round-off tolerance only.
+  EXPECT_TRUE(a.agrees_with(b));
+  b.coa = 0.996;
+  EXPECT_FALSE(a.agrees_with(b));
+
+  // One simulated report: its CI decides, rescaled by z.
+  b.backend = core::EvalBackend::kSimulation;
+  b.coa_half_width_95 = 0.0015;
+  EXPECT_TRUE(a.agrees_with(b));
+  EXPECT_TRUE(b.agrees_with(a));
+  EXPECT_FALSE(a.agrees_with(b, 1.0));             // 1-sigma: 0.00077 < 0.001
+  EXPECT_TRUE(a.agrees_with(b, 1.31));             // just above the 0.001 gap
+  // Two simulated reports combine in quadrature.
+  a.backend = core::EvalBackend::kSimulation;
+  a.coa_half_width_95 = 0.0015;
+  EXPECT_TRUE(a.agrees_with(b, 1.0));  // sqrt(2)*0.00077 > 0.001
+}
+
+TEST(SessionBackend, SimulationOptionsAreValidatedAtEvaluate) {
+  core::EngineOptions engine;
+  engine.backend = core::EvalBackend::kSimulation;
+  engine.simulation.replications = 0;
+  const core::Session session(core::Scenario::paper_case_study().with_engine(engine));
+  EXPECT_THROW((void)session.evaluate(ent::RedundancyDesign{}), std::invalid_argument);
+}

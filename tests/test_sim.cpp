@@ -1,7 +1,12 @@
 // Monte-Carlo simulator tests: agreement with closed forms and with the
-// analytic SRN solver on small nets (the independent-oracle property).
+// analytic SRN solver on small nets (the independent-oracle property), the
+// threaded independent-replication engine's determinism contract, and
+// SimulationOptions validation.
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
 
 #include "patchsec/petri/reachability.hpp"
 #include "patchsec/sim/srn_simulator.hpp"
@@ -144,6 +149,156 @@ TEST(Simulator, OptionValidation) {
                std::invalid_argument);
   EXPECT_THROW((void)simulator.steady_state_reward(nullptr, {}), std::invalid_argument);
   EXPECT_THROW((void)simulator.steady_state_probability(nullptr, {}), std::invalid_argument);
+}
+
+// Every unusable knob throws std::invalid_argument from validate() with a
+// message naming the knob — one case per satellite requirement.
+TEST(SimulationOptions, ValidateRejectsEachBadKnob) {
+  const auto expect_throw = [](sm::SimulationOptions opt, const std::string& fragment) {
+    try {
+      opt.validate();
+      FAIL() << "expected std::invalid_argument mentioning '" << fragment << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos) << e.what();
+    }
+  };
+  sm::SimulationOptions opt;
+  EXPECT_NO_THROW(opt.validate());
+
+  opt = {};
+  opt.batches = 1;
+  expect_throw(opt, "batches");
+  opt = {};
+  opt.batches = 0;
+  expect_throw(opt, "batches");
+
+  opt = {};
+  opt.warmup_hours = 0.0;
+  expect_throw(opt, "warmup_hours");
+  opt = {};
+  opt.warmup_hours = -10.0;
+  expect_throw(opt, "warmup_hours");
+  opt = {};
+  opt.warmup_hours = std::nan("");
+  expect_throw(opt, "warmup_hours");
+
+  opt = {};
+  opt.batch_hours = 0.0;
+  expect_throw(opt, "batch_hours");
+  opt = {};
+  opt.batch_hours = -1.0;
+  expect_throw(opt, "batch_hours");
+
+  opt = {};
+  opt.replications = 0;
+  expect_throw(opt, "replications");
+  opt = {};
+  opt.replications = 1;
+  expect_throw(opt, "replications");
+
+  opt = {};
+  opt.horizon_hours = 0.0;
+  expect_throw(opt, "horizon_hours");
+}
+
+TEST(SimulationOptions, ReplicatedEngineValidates) {
+  const pt::SrnModel net = up_down_net(1.0, 1.0);
+  sm::SrnSimulator simulator(net);
+  sm::SimulationOptions opt;
+  opt.replications = 0;
+  EXPECT_THROW(
+      (void)simulator.steady_state_reward_replicated([](const pt::Marking&) { return 1.0; }, opt),
+      std::invalid_argument);
+  EXPECT_THROW((void)simulator.steady_state_reward_replicated(nullptr, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulator.steady_state_probability_replicated(nullptr, {}),
+               std::invalid_argument);
+}
+
+TEST(ReplicationEngine, UpDownAvailabilityWithinConfidenceInterval) {
+  const double lambda = 0.05, mu = 0.45;
+  const pt::SrnModel net = up_down_net(lambda, mu);
+  sm::SrnSimulator simulator(net);
+  sm::SimulationOptions opt;
+  opt.seed = 1234;
+  opt.warmup_hours = 200.0;
+  opt.horizon_hours = 2000.0;
+  opt.replications = 24;
+  opt.threads = 1;
+  const auto est = simulator.steady_state_probability_replicated(
+      [&net](const pt::Marking& m) { return m[net.place("up")] == 1; }, opt);
+  const double expected = mu / (lambda + mu);
+  EXPECT_NEAR(est.mean, expected, 3.0 * std::max(est.half_width_95, 1e-3));
+  EXPECT_GT(est.half_width_95, 0.0);
+  EXPECT_EQ(est.batches, 24u);
+  EXPECT_EQ(est.diagnostics.replications, 24u);
+  EXPECT_GT(est.diagnostics.events_fired, 0u);
+  EXPECT_GE(est.diagnostics.wall_time_seconds, 0.0);
+  EXPECT_EQ(est.diagnostics.threads_used, 1u);
+  EXPECT_DOUBLE_EQ(est.total_time, 24.0 * 2200.0);
+}
+
+// The determinism contract of the tentpole: for a fixed seed the replicated
+// estimate (mean, half width, events) is bit-identical regardless of thread
+// count, and repeated runs reproduce it.
+TEST(ReplicationEngine, BitIdenticalAcrossThreadCounts) {
+  const pt::SrnModel net = up_down_net(0.3, 1.1);
+  sm::SrnSimulator simulator(net);
+  sm::SimulationOptions opt;
+  opt.seed = 77;
+  opt.warmup_hours = 50.0;
+  opt.horizon_hours = 500.0;
+  opt.replications = 12;
+  const auto reward = [&net](const pt::Marking& m) { return m[net.place("up")] == 1; };
+
+  opt.threads = 1;
+  const auto serial = simulator.steady_state_probability_replicated(reward, opt);
+  const auto serial_again = simulator.steady_state_probability_replicated(reward, opt);
+  for (unsigned threads : {2u, 3u, 8u}) {
+    opt.threads = threads;
+    const auto threaded = simulator.steady_state_probability_replicated(reward, opt);
+    EXPECT_DOUBLE_EQ(threaded.mean, serial.mean) << threads << " threads";
+    EXPECT_DOUBLE_EQ(threaded.half_width_95, serial.half_width_95) << threads << " threads";
+    EXPECT_EQ(threaded.diagnostics.events_fired, serial.diagnostics.events_fired)
+        << threads << " threads";
+  }
+  EXPECT_DOUBLE_EQ(serial_again.mean, serial.mean);
+  EXPECT_DOUBLE_EQ(serial_again.half_width_95, serial.half_width_95);
+}
+
+TEST(ReplicationEngine, AgreesWithAnalyticSolverOnThreeStateNet) {
+  pt::SrnModel net;
+  const auto a = net.add_place("a", 1);
+  const auto b = net.add_place("b", 0);
+  const auto c = net.add_place("c", 0);
+  const auto t1 = net.add_timed_transition("t1", 1.0);
+  net.add_input_arc(t1, a);
+  net.add_output_arc(t1, b);
+  const auto t2 = net.add_timed_transition("t2", 2.0);
+  net.add_input_arc(t2, b);
+  net.add_output_arc(t2, c);
+  const auto t3 = net.add_timed_transition("t3", 4.0);
+  net.add_input_arc(t3, c);
+  net.add_output_arc(t3, a);
+
+  const pt::SrnAnalyzer analyzer(net);
+  const double analytic = analyzer.probability([a](const pt::Marking& m) { return m[a] == 1; });
+
+  sm::SrnSimulator simulator(net);
+  sm::SimulationOptions opt;
+  opt.seed = 99;
+  opt.warmup_hours = 20.0;
+  opt.horizon_hours = 400.0;
+  opt.replications = 32;
+  opt.threads = 2;
+  const auto est = simulator.steady_state_probability_replicated(
+      [a](const pt::Marking& m) { return m[a] == 1; }, opt);
+  EXPECT_NEAR(est.mean, analytic, 3.0 * std::max(est.half_width_95, 1e-3));
+  EXPECT_TRUE(est.contains(est.mean));
+  EXPECT_TRUE(est.contains(est.mean + est.half_width_95 * 0.99));
+  EXPECT_FALSE(est.contains(est.mean + est.half_width_95 * 1.01));
+  // Rescaling the CI to a wider z admits more.
+  EXPECT_TRUE(est.contains(est.mean + est.half_width_95 * 1.01, 3.0));
 }
 
 TEST(Simulator, Deterministic) {
