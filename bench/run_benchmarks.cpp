@@ -24,8 +24,10 @@
 #include <string>
 #include <vector>
 
+#include "patchsec/avail/transient_coa.hpp"
 #include "patchsec/avail/network_srn.hpp"
 #include "patchsec/core/session.hpp"
+#include "patchsec/ctmc/transient_solver.hpp"
 #include "patchsec/linalg/stationary_solver.hpp"
 #include "patchsec/petri/reachability.hpp"
 #include "patchsec/sim/srn_simulator.hpp"
@@ -230,6 +232,105 @@ int main(int argc, char** argv) {
         }));
   }
 
+  // Transient engine (schema v3 rows): the 16-point coa(t) curve on the k=6
+  // network after a patch wave, cold (fresh TransientSolver: generator +
+  // uniformized-matrix build + curve) vs warm (prepared workspace, curve
+  // only) — the uniformization counterpart of steady_state_k6_{cold,warm}.
+  // solver_iterations records the matvec count of the expansion.
+  {
+    const core::Session session(core::Scenario::paper_case_study());
+    const av::NetworkSrn net = av::build_network_srn(ent::RedundancyDesign{{6, 6, 6, 6}},
+                                                     session.aggregated_rates());
+    const pt::ReachabilityGraph graph = pt::build_reachability_graph(net.model);
+    const pt::RewardFunction reward = net.coa_reward();
+    std::vector<double> rewards;
+    rewards.reserve(graph.tangible_count());
+    for (const pt::Marking& m : graph.tangible_markings) rewards.push_back(reward(m));
+    std::vector<double> initial(graph.tangible_count(), 0.0);
+    const std::map<ent::ServerRole, unsigned> wave{{ent::ServerRole::kDns, 1},
+                                                   {ent::ServerRole::kWeb, 1},
+                                                   {ent::ServerRole::kApp, 1},
+                                                   {ent::ServerRole::kDb, 1}};
+    initial[graph.index_of(av::patch_window_marking(net, wave))] = 1.0;
+    std::vector<double> grid;
+    for (int j = 1; j <= 16; ++j) grid.push_back(24.0 * j / 16.0);
+    std::vector<double> values;
+
+    results.push_back(run_bench("transient_curve_k6_cold", reps, [&]() -> Sample {
+      patchsec::ctmc::TransientSolver solver;
+      solver.prepare(graph.chain);
+      (void)solver.reward_curve(initial, rewards, grid, values);
+      Sample s;
+      s.tangible_states = graph.tangible_count();
+      s.ctmc_transitions = graph.chain.transitions().size();
+      s.solver_iterations = solver.diagnostics().matvec_count;
+      return s;
+    }));
+    patchsec::ctmc::TransientSolver warm;
+    warm.prepare(graph.chain);
+    results.push_back(run_bench("transient_curve_k6_warm", reps, [&]() -> Sample {
+      const std::size_t matvecs_before = warm.diagnostics().matvec_count;
+      (void)warm.reward_curve(initial, rewards, grid, values);
+      Sample s;
+      s.tangible_states = graph.tangible_count();
+      s.ctmc_transitions = graph.chain.transitions().size();
+      s.solver_iterations = warm.diagnostics().matvec_count - matvecs_before;
+      // The reuse contract: one structure build no matter how many curves.
+      s.converged = warm.structure_builds() == 1;
+      return s;
+    }));
+  }
+
+  // Full facade transient evaluation (Session::evaluate_transient, analytic
+  // backend, 16-point derived grid) and the finite-horizon Monte-Carlo
+  // counterpart (512 replications, 8 workers, thread-identity asserted via
+  // `converged` like the steady-state sim rows).
+  {
+    core::EngineOptions engine;
+    engine.horizon_hours = 24.0;
+    engine.transient_points = 16;
+    engine.initial_down = {{ent::ServerRole::kApp, 1}};
+    const core::Session session(core::Scenario::paper_case_study().with_engine(engine));
+    (void)session.aggregated_rates();
+    results.push_back(run_bench("transient_session_paper", reps, [&session]() -> Sample {
+      const core::EvalReport report = session.evaluate_transient(ent::example_network_design());
+      Sample s;
+      s.tangible_states = report.availability_diagnostics.tangible_states;
+      s.ctmc_transitions = report.availability_diagnostics.transitions;
+      s.solver_iterations = report.total_solver_iterations();
+      s.converged = report.converged();
+      return s;
+    }));
+
+    const av::NetworkSrn net =
+        av::build_network_srn(ent::example_network_design(), session.aggregated_rates());
+    const sm::SrnSimulator simulator(net.model);
+    const pt::RewardFunction reward = net.coa_reward();
+    const pt::Marking wave_start = av::patch_window_marking(net, engine.initial_down);
+    const std::vector<double> sim_grid = engine.transient_grid();
+    sm::SimulationOptions sim_options;
+    sim_options.seed = 20170626;
+    sim_options.replications = 512;
+    sim_options.threads = 1;
+    const sm::TransientCurveEstimate serial_reference =
+        simulator.transient_reward_curve(reward, sim_grid, sim_options, &wave_start);
+    sim_options.threads = 8;
+    results.push_back(run_bench(
+        "sim_transient_curve_threaded8", reps,
+        [&simulator, &reward, &sim_grid, &sim_options, &wave_start,
+         &serial_reference]() -> Sample {
+          const sm::TransientCurveEstimate est =
+              simulator.transient_reward_curve(reward, sim_grid, sim_options, &wave_start);
+          Sample s;
+          s.events_fired = est.diagnostics.events_fired;
+          s.solver_iterations = est.diagnostics.replications;
+          s.converged = est.mean == serial_reference.mean &&
+                        est.half_width_95 == serial_reference.half_width_95 &&
+                        est.interval_mean == serial_reference.interval_mean;
+          return s;
+        }));
+  }
+
   // Schedule sweep: the five paper designs under six cadences through one
   // Session (memoization + per-thread solver workspace reuse).
   results.push_back(run_bench("schedule_sweep_5x6", reps, []() -> Sample {
@@ -252,7 +353,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "run_benchmarks: cannot write %s\n", output.c_str());
     return 1;
   }
-  out << "{\n  \"schema_version\": 2,\n  \"unit\": \"seconds\",\n  \"repetitions\": " << reps
+  out << "{\n  \"schema_version\": 3,\n  \"unit\": \"seconds\",\n  \"repetitions\": " << reps
       << ",\n  \"benches\": [\n";
   out << std::setprecision(9);
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -3,11 +3,19 @@
 // computed by uniformization on the upper-layer CTMC.  Answers "how deep is
 // the capacity dip when patch day hits, and how fast does it heal?" — a
 // question the steady-state COA of the paper averages away.
+//
+// transient_coa_detailed() is the engine behind core::Session::
+// evaluate_transient: one reachability build and one uniformized-matrix
+// build (via a reusable ctmc::TransientSolver workspace) amortized over the
+// whole time grid, returning the COA curve, the accumulated COA (capacity
+// delivered over the window, in server-fraction hours) and diagnostics.
 
 #include <map>
 #include <vector>
 
 #include "patchsec/avail/network_srn.hpp"
+#include "patchsec/ctmc/transient_solver.hpp"
+#include "patchsec/petri/reachability.hpp"
 
 namespace patchsec::avail {
 
@@ -16,6 +24,52 @@ struct CoaPoint {
   double hours = 0.0;
   double coa = 0.0;
 };
+
+/// Inputs of one transient COA evaluation beyond the grid itself.
+struct TransientCoaOptions {
+  /// Per role, how many servers start the window down for patching (clamped
+  /// to the tier size; roles not deployed are ignored).  Empty = the all-up
+  /// initial marking.
+  std::map<enterprise::ServerRole, unsigned> initial_down;
+  /// Uniformization truncation policy.
+  ctmc::TransientOptions uniformization;
+  /// Reachability-graph limits for the upper-layer exploration.
+  petri::ReachabilityOptions reachability;
+};
+
+/// The full transient evaluation: curve, window integral, and how much work
+/// the engine did.
+struct CoaCurveEvaluation {
+  std::vector<CoaPoint> curve;
+  /// int_0^T coa(s) ds over the window [0, t_back] — "capacity delivered",
+  /// in server-fraction hours.  accumulated/T is the interval COA.
+  double accumulated_coa_hours = 0.0;
+  /// Model-size half of petri::SolveDiagnostics (tangible states,
+  /// transitions, wall time); solver_iterations counts uniformization
+  /// vector-matrix products and converged is always true (uniformization is
+  /// a finite sum, not an iteration to a fixpoint).
+  petri::SolveDiagnostics diagnostics;
+  /// Uniformization internals (Lambda, Fox-Glynn window, matvec count).
+  ctmc::TransientDiagnostics transient;
+};
+
+/// COA(t) at every grid point (ascending, non-negative, hours) for a design,
+/// from per-role aggregated rates.  A non-null `workspace` reuses the
+/// caller's ctmc::TransientSolver: a second curve on the same design+rates
+/// skips the uniformized-matrix rebuild (core::Session passes one per worker
+/// thread).  Throws std::invalid_argument on an empty or descending grid.
+[[nodiscard]] CoaCurveEvaluation transient_coa_detailed(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates,
+    const std::vector<double>& time_points_hours, const TransientCoaOptions& options = {},
+    ctmc::TransientSolver* workspace = nullptr);
+
+/// The patch-window entry marking of `net`: per role, `initial_down` servers
+/// (clamped to the tier size) moved from up to down.  Shared by the analytic
+/// path above and the simulation backend (which must start its replications
+/// from the same marking for the differential cross-check to be meaningful).
+[[nodiscard]] petri::Marking patch_window_marking(
+    const NetworkSrn& net, const std::map<enterprise::ServerRole, unsigned>& initial_down);
 
 /// Expected COA at the given time points, starting from a marking where
 /// `initial_down` servers of each role are down for patching (clamped to the

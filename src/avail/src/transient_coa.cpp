@@ -1,74 +1,98 @@
 #include "patchsec/avail/transient_coa.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
-
-#include "patchsec/ctmc/transient.hpp"
-#include "patchsec/petri/reachability.hpp"
 
 namespace patchsec::avail {
 
 namespace {
 
-/// Build the chain once and return everything needed for transient rewards.
-struct Prepared {
-  petri::ReachabilityGraph graph;
-  std::vector<double> rewards;      // reward per tangible state
-  std::vector<double> initial;      // initial distribution
-  double steady_coa = 0.0;
-};
+using Clock = std::chrono::steady_clock;
 
-Prepared prepare(const enterprise::RedundancyDesign& design,
-                 const std::map<enterprise::ServerRole, AggregatedRates>& rates,
-                 const std::map<enterprise::ServerRole, unsigned>& initial_down) {
-  const NetworkSrn net = build_network_srn(design, rates);
-  Prepared prep;
-  prep.graph = petri::build_reachability_graph(net.model);
+}  // namespace
 
-  const petri::RewardFunction reward = net.coa_reward();
-  prep.rewards.reserve(prep.graph.tangible_count());
-  for (const petri::Marking& m : prep.graph.tangible_markings) {
-    prep.rewards.push_back(reward(m));
-  }
-
-  // Construct the post-patch-event marking: per role, `initial_down` servers
-  // (clamped) are moved from up to down.
+petri::Marking patch_window_marking(
+    const NetworkSrn& net, const std::map<enterprise::ServerRole, unsigned>& initial_down) {
   petri::Marking start = net.model.initial_marking();
   for (const auto& [role, down] : initial_down) {
     const auto up_it = net.up_places.find(role);
     if (up_it == net.up_places.end()) continue;  // role not deployed
-    const petri::TokenCount capped =
-        std::min<petri::TokenCount>(down, start[up_it->second]);
+    const petri::TokenCount capped = std::min<petri::TokenCount>(down, start[up_it->second]);
     start[up_it->second] -= capped;
     start[net.down_places.at(role)] += capped;
   }
-  prep.initial.assign(prep.graph.tangible_count(), 0.0);
-  prep.initial[prep.graph.index_of(start)] = 1.0;
-
-  const linalg::SteadyStateResult ss = prep.graph.chain.steady_state();
-  for (std::size_t i = 0; i < prep.rewards.size(); ++i) {
-    prep.steady_coa += ss.distribution[i] * prep.rewards[i];
-  }
-  return prep;
+  return start;
 }
 
-}  // namespace
+CoaCurveEvaluation transient_coa_detailed(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates,
+    const std::vector<double>& time_points_hours, const TransientCoaOptions& options,
+    ctmc::TransientSolver* workspace) {
+  if (time_points_hours.empty()) {
+    throw std::invalid_argument("transient_coa: no time points");
+  }
+  const auto start_time = Clock::now();
+
+  const NetworkSrn net = build_network_srn(design, rates);
+  const petri::ReachabilityGraph graph =
+      petri::build_reachability_graph(net.model, options.reachability);
+
+  const petri::RewardFunction reward = net.coa_reward();
+  std::vector<double> rewards;
+  rewards.reserve(graph.tangible_count());
+  for (const petri::Marking& m : graph.tangible_markings) rewards.push_back(reward(m));
+
+  std::vector<double> initial(graph.tangible_count(), 0.0);
+  initial[graph.index_of(patch_window_marking(net, options.initial_down))] = 1.0;
+
+  ctmc::TransientSolver local;
+  ctmc::TransientSolver& solver = workspace != nullptr ? *workspace : local;
+  solver.set_options(options.uniformization);
+  solver.prepare(graph.chain);
+
+  std::vector<double> values;
+  CoaCurveEvaluation result;
+  result.accumulated_coa_hours =
+      solver.reward_curve(initial, rewards, time_points_hours, values);
+  result.curve.reserve(values.size());
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    result.curve.push_back({time_points_hours[j], values[j]});
+  }
+  result.transient = solver.diagnostics();
+  result.diagnostics.tangible_states = graph.tangible_count();
+  result.diagnostics.vanishing_markings = graph.vanishing_markings_seen;
+  result.diagnostics.transitions = graph.chain.transitions().size();
+  result.diagnostics.solver_iterations = result.transient.matvec_count;
+  result.diagnostics.converged = true;  // a finite sum, not a fixpoint iteration
+  result.diagnostics.wall_time_seconds =
+      std::chrono::duration<double>(Clock::now() - start_time).count();
+  return result;
+}
 
 std::vector<CoaPoint> transient_coa_curve(
     const enterprise::RedundancyDesign& design,
     const std::map<enterprise::ServerRole, AggregatedRates>& rates,
     const std::map<enterprise::ServerRole, unsigned>& initial_down,
     const std::vector<double>& time_points_hours) {
-  if (time_points_hours.empty()) {
-    throw std::invalid_argument("transient_coa_curve: no time points");
+  TransientCoaOptions options;
+  options.initial_down = initial_down;
+  // The historical contract accepts an arbitrary-order grid; the solver
+  // wants it ascending.  Evaluate sorted, then emit in caller order.
+  std::vector<double> sorted = time_points_hours;
+  for (double t : sorted) {
+    if (t < 0.0) throw std::invalid_argument("transient_coa_curve: negative time");
   }
-  const Prepared prep = prepare(design, rates, initial_down);
+  std::sort(sorted.begin(), sorted.end());
+  const CoaCurveEvaluation eval = transient_coa_detailed(design, rates, sorted, options);
   std::vector<CoaPoint> curve;
   curve.reserve(time_points_hours.size());
   for (double t : time_points_hours) {
-    if (t < 0.0) throw std::invalid_argument("transient_coa_curve: negative time");
-    curve.push_back(
-        {t, ctmc::transient_reward(prep.graph.chain, prep.initial, prep.rewards, t)});
+    const auto it = std::lower_bound(
+        eval.curve.begin(), eval.curve.end(), t,
+        [](const CoaPoint& p, double hours) { return p.hours < hours; });
+    curve.push_back({t, it->coa});
   }
   return curve;
 }
@@ -78,10 +102,27 @@ double patch_dip_shortfall(const enterprise::RedundancyDesign& design,
                            const std::map<enterprise::ServerRole, unsigned>& initial_down,
                            double horizon_hours, std::size_t steps) {
   if (!(horizon_hours > 0.0)) throw std::invalid_argument("patch_dip_shortfall: horizon");
-  const Prepared prep = prepare(design, rates, initial_down);
-  const double accumulated = ctmc::accumulated_reward(prep.graph.chain, prep.initial,
-                                                      prep.rewards, horizon_hours, steps);
-  return prep.steady_coa * horizon_hours - accumulated;
+  if (steps == 0) throw std::invalid_argument("patch_dip_shortfall: steps must be positive");
+
+  // One model build serves both measures: the steady-state COA comes from
+  // the same chain and reward vector the transient expansion uses.
+  const NetworkSrn net = build_network_srn(design, rates);
+  const petri::ReachabilityGraph graph = petri::build_reachability_graph(net.model);
+  const petri::RewardFunction reward = net.coa_reward();
+  std::vector<double> rewards;
+  rewards.reserve(graph.tangible_count());
+  for (const petri::Marking& m : graph.tangible_markings) rewards.push_back(reward(m));
+  std::vector<double> initial(graph.tangible_count(), 0.0);
+  initial[graph.index_of(patch_window_marking(net, initial_down))] = 1.0;
+
+  ctmc::TransientSolver solver;
+  solver.prepare(graph.chain);
+  const double accumulated = solver.accumulated_reward(initial, rewards, horizon_hours);
+
+  const linalg::SteadyStateResult ss = graph.chain.steady_state();
+  double steady = 0.0;
+  for (std::size_t i = 0; i < rewards.size(); ++i) steady += ss.distribution[i] * rewards[i];
+  return steady * horizon_hours - accumulated;
 }
 
 }  // namespace patchsec::avail

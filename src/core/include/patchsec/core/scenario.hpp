@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "patchsec/ctmc/transient_solver.hpp"
 #include "patchsec/enterprise/design.hpp"
 #include "patchsec/enterprise/network.hpp"
 #include "patchsec/linalg/steady_state.hpp"
@@ -69,6 +70,31 @@ struct EngineOptions {
   /// pools do not multiply; estimates are thread-count-invariant, so this
   /// affects scheduling only.
   sim::SimulationOptions simulation;
+
+  // --- transient analysis (Session::evaluate_transient) --------------------
+  /// Horizon of the transient window, in hours.  When `time_points` is empty
+  /// the evaluated grid is `transient_points` uniform points over
+  /// [0, horizon_hours] (t = 0 included: it shows the initial dip).
+  double horizon_hours = 24.0;
+  /// Explicit time grid (hours, ascending, non-negative); when non-empty it
+  /// overrides horizon_hours/transient_points.
+  std::vector<double> time_points;
+  /// Size of the derived uniform grid (>= 2).
+  std::size_t transient_points = 16;
+  /// Patch-window entry state: per role, how many servers start the window
+  /// down for patching (clamped to the tier size; empty = all up).  Applied
+  /// by BOTH transient backends, so the differential cross-check compares
+  /// like with like.
+  std::map<enterprise::ServerRole, unsigned> initial_down;
+  /// Truncation policy of the analytic transient engine (uniformization).
+  ctmc::TransientOptions uniformization;
+
+  /// The grid evaluate_transient runs on: `time_points` when set, otherwise
+  /// the uniform grid described above.  Throws std::invalid_argument on an
+  /// unusable configuration (empty/descending/negative explicit grid, a
+  /// window that ends at t = 0, or a non-positive horizon / sub-2-point
+  /// derived grid).
+  [[nodiscard]] std::vector<double> transient_grid() const;
 
   /// The lowered per-solve form handed to the petri/avail layers.
   [[nodiscard]] petri::AnalyzerOptions analyzer_options() const {

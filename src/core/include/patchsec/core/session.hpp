@@ -37,6 +37,32 @@ struct DesignEvaluation {
                                        ///< patch schedule (Table VI measure).
 };
 
+/// \brief Time-dependent COA payload of a Session::evaluate_transient
+/// report: coa(t) over the engine's time grid, plus the window integral.
+/// Under the simulation backend every point carries its own 95% confidence
+/// half width (empty vectors mean "no transient evaluation ran").
+struct TransientCurve {
+  std::vector<double> time_points_hours;  ///< the evaluated grid.
+  std::vector<double> coa;                ///< coa(t_j), same length.
+  std::vector<double> half_width_95;      ///< per-point CI (simulation only).
+  /// int_0^T coa(s) ds — capacity delivered over the window, in
+  /// server-fraction hours.
+  double accumulated_coa_hours = 0.0;
+
+  [[nodiscard]] bool empty() const noexcept { return time_points_hours.empty(); }
+  /// Last grid point (the window length T); 0 when empty.
+  [[nodiscard]] double horizon_hours() const noexcept {
+    return time_points_hours.empty() ? 0.0 : time_points_hours.back();
+  }
+  /// Time-averaged COA over the window: accumulated_coa_hours / T (0 when
+  /// the window is degenerate).  This is what evaluate_transient reports as
+  /// EvalReport::coa.
+  [[nodiscard]] double interval_coa() const noexcept {
+    const double t = horizon_hours();
+    return t > 0.0 ? accumulated_coa_hours / t : 0.0;
+  }
+};
+
 /// \brief Rich evaluation result: the paper's metrics plus end-to-end solver
 /// diagnostics for every stage that ran a steady-state solve.
 struct EvalReport {
@@ -54,6 +80,15 @@ struct EvalReport {
   /// Replication counts, events fired and wall time of the simulation
   /// backend; zeroed under kAnalytic.
   sim::SimDiagnostics simulation_diagnostics;
+
+  /// Time-dependent COA curve — filled only by Session::evaluate_transient
+  /// (empty() for steady-state evaluations).  A transient report's `coa` is
+  /// the time-averaged COA over the window, NOT the steady-state COA.
+  TransientCurve transient;
+  /// Uniformization internals of the analytic transient engine (Lambda,
+  /// Fox-Glynn window, matvec count); zeroed under kSimulation and for
+  /// steady-state evaluations.
+  ctmc::TransientDiagnostics transient_diagnostics;
 
   /// Lower-layer (server SRN, one per role with a spec) solve diagnostics.
   /// Memoized across reports sharing a (role, patch interval); wall times are
@@ -77,6 +112,26 @@ struct EvalReport {
   /// exactly one of the two reports is simulated — the differential
   /// harness's acceptance test.
   [[nodiscard]] bool agrees_with(const EvalReport& other, double z = 1.96) const noexcept;
+  /// Point-wise CI-band agreement of two transient curves, the transient
+  /// differential acceptance test: true iff both reports carry curves over
+  /// the SAME grid and at every grid point the COA values agree within the
+  /// quadrature-combined half widths rescaled from 95% to z.  The band is
+  /// floored at 3/replications when a simulated report is involved (COA is
+  /// a discrete reward, so a degenerate replication sample — every
+  /// replication saw the same value — collapses the t-interval to zero
+  /// while the true mean may differ by up to the rule-of-three bound) and
+  /// at round-off (1e-9) for two analytic curves.
+  /// transient_agrees_with(analytic, 1.96) on a simulated report asks "does
+  /// the analytic curve lie inside my 95% confidence band everywhere".
+  [[nodiscard]] bool transient_agrees_with(const EvalReport& other,
+                                           double z = 1.96) const noexcept;
+  /// The band check of ONE grid point, exactly as transient_agrees_with
+  /// applies it (quadrature-combined half widths, rule-of-three/round-off
+  /// floor) — exposed so reporting code (the differential runner's per-point
+  /// columns) can never drift from the verdict.  False when either curve
+  /// lacks index j.
+  [[nodiscard]] bool transient_point_agrees(const EvalReport& other, std::size_t j,
+                                            double z = 1.96) const noexcept;
   /// Total solver iterations across all stages (lower + upper layer).
   [[nodiscard]] std::size_t total_solver_iterations() const noexcept;
   /// The metric payload alone, for APIs speaking the original Evaluator
@@ -118,6 +173,21 @@ class Session {
   [[nodiscard]] std::vector<EvalReport> evaluate_all(
       const std::vector<enterprise::RedundancyDesign>& designs,
       double patch_interval_hours) const;
+
+  /// Transient evaluation: coa(t) over the engine's time grid
+  /// (EngineOptions::horizon_hours / time_points), starting from the
+  /// patch-window marking EngineOptions::initial_down describes, at the
+  /// scenario's first patch cadence.  The lower-layer per-(role, interval)
+  /// aggregations are memoized exactly like the steady-state path (both
+  /// paths share the cache).  Backend-dispatched like evaluate():
+  /// kAnalytic runs uniformization, kSimulation the finite-horizon
+  /// replicated estimator; the report's `transient` payload carries the
+  /// curve and its `coa` the time-averaged COA over the window.
+  [[nodiscard]] EvalReport evaluate_transient(const enterprise::RedundancyDesign& design) const;
+
+  /// Transient evaluation at an explicit patch cadence.
+  [[nodiscard]] EvalReport evaluate_transient(const enterprise::RedundancyDesign& design,
+                                              double patch_interval_hours) const;
 
   /// Per-role aggregated patch/recovery rates (Table V rows) at the
   /// scenario's first cadence.  Computed on first use, then cached.

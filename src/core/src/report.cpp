@@ -144,7 +144,30 @@ void write_json(std::ostream& out, const std::vector<EvalReport>& reports) {
       out << "\"" << enterprise::to_string(role) << "\":";
       stage_json(d);
     }
-    out << "}}}";
+    out << "}}";
+    if (!r.transient.empty()) {
+      const auto array_json = [&out](const char* key, const std::vector<double>& values) {
+        out << ",\"" << key << "\":[";
+        for (std::size_t j = 0; j < values.size(); ++j) {
+          if (j != 0) out << ",";
+          out << values[j];
+        }
+        out << "]";
+      };
+      out << ",\"transient\":{\"horizon_hours\":" << r.transient.horizon_hours();
+      array_json("time_points_hours", r.transient.time_points_hours);
+      array_json("coa", r.transient.coa);
+      if (!r.transient.half_width_95.empty()) {
+        array_json("half_width_95", r.transient.half_width_95);
+      }
+      out << ",\"accumulated_coa_hours\":" << r.transient.accumulated_coa_hours
+          << ",\"interval_coa\":" << r.transient.interval_coa()
+          << ",\"uniformization\":{\"rate\":" << r.transient_diagnostics.uniformization_rate
+          << ",\"left\":" << r.transient_diagnostics.left_point
+          << ",\"right\":" << r.transient_diagnostics.right_point
+          << ",\"matvecs\":" << r.transient_diagnostics.matvec_count << "}}";
+    }
+    out << "}";
   }
   out << "\n]\n";
   out.precision(old_precision);

@@ -6,6 +6,40 @@
 
 namespace patchsec::core {
 
+std::vector<double> EngineOptions::transient_grid() const {
+  if (!time_points.empty()) {
+    double previous = 0.0;
+    for (double t : time_points) {
+      if (t < 0.0) {
+        throw std::invalid_argument("EngineOptions: negative transient time point");
+      }
+      if (t < previous) {
+        throw std::invalid_argument("EngineOptions: transient time_points must be ascending");
+      }
+      previous = t;
+    }
+    // A zero-length window has no interval COA, and the two backends would
+    // disagree on what a {0.0} grid means — reject it here.
+    if (!(time_points.back() > 0.0)) {
+      throw std::invalid_argument("EngineOptions: transient window must end after t = 0");
+    }
+    return time_points;
+  }
+  if (!(horizon_hours > 0.0)) {
+    throw std::invalid_argument("EngineOptions: horizon_hours must be > 0");
+  }
+  if (transient_points < 2) {
+    throw std::invalid_argument("EngineOptions: transient_points must be >= 2");
+  }
+  std::vector<double> grid;
+  grid.reserve(transient_points);
+  for (std::size_t j = 0; j < transient_points; ++j) {
+    grid.push_back(horizon_hours * static_cast<double>(j) /
+                   static_cast<double>(transient_points - 1));
+  }
+  return grid;
+}
+
 Scenario Scenario::paper_case_study() {
   return Scenario()
       .with_specs(enterprise::paper_server_specs())

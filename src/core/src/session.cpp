@@ -1,5 +1,7 @@
 #include "patchsec/core/session.hpp"
 
+#include "patchsec/avail/transient_coa.hpp"
+
 #include <atomic>
 #include <cmath>
 #include <chrono>
@@ -42,6 +44,15 @@ linalg::StationarySolver& availability_workspace() {
   return workspace;
 }
 
+// Transient (uniformization) workspace, same per-thread discipline: repeated
+// evaluate_transient calls on same-structure upper-layer SRNs (schedule
+// sweeps, re-evaluations) refresh the cached uniformized matrix instead of
+// rebuilding it.
+ctmc::TransientSolver& transient_workspace() {
+  static thread_local ctmc::TransientSolver workspace;
+  return workspace;
+}
+
 }  // namespace
 
 bool EvalReport::converged() const noexcept {
@@ -59,6 +70,41 @@ bool EvalReport::agrees_with(const EvalReport& other, double z) const noexcept {
   double combined = std::sqrt(hw_a * hw_a + hw_b * hw_b);
   if (combined == 0.0) combined = 1e-9;  // two analytic reports: round-off only
   return std::abs(coa - other.coa) <= combined;
+}
+
+bool EvalReport::transient_point_agrees(const EvalReport& other, std::size_t j,
+                                        double z) const noexcept {
+  if (j >= transient.coa.size() || j >= other.transient.coa.size()) return false;
+  const double scale = z / 1.96;
+  // Replication-aware band floor.  COA(X_t) is a discrete reward, so a
+  // replication sample can be degenerate (every replication saw the same
+  // value), collapsing the t-interval to zero width even though the true
+  // mean differs from the observed value by up to ~3/n at 95% confidence
+  // (the rule of three for unobserved outcomes).  Floor the combined band at
+  // that resolution; two analytic curves keep the round-off-only floor.
+  const std::size_t replications =
+      std::max(simulation_diagnostics.replications, other.simulation_diagnostics.replications);
+  const double floor_hw = replications > 0 ? 3.0 / static_cast<double>(replications) : 1e-9;
+  const double hw_a =
+      (j < transient.half_width_95.size() ? transient.half_width_95[j] : 0.0) * scale;
+  const double hw_b =
+      (j < other.transient.half_width_95.size() ? other.transient.half_width_95[j] : 0.0) *
+      scale;
+  double combined = std::sqrt(hw_a * hw_a + hw_b * hw_b);
+  if (combined < floor_hw) combined = floor_hw;
+  return std::abs(transient.coa[j] - other.transient.coa[j]) <= combined;
+}
+
+bool EvalReport::transient_agrees_with(const EvalReport& other, double z) const noexcept {
+  if (transient.empty() || other.transient.empty()) return false;
+  const std::vector<double>& mine = transient.time_points_hours;
+  const std::vector<double>& theirs = other.transient.time_points_hours;
+  if (mine.size() != theirs.size()) return false;
+  for (std::size_t j = 0; j < mine.size(); ++j) {
+    if (std::abs(mine[j] - theirs[j]) > 1e-9) return false;  // different grids
+    if (!transient_point_agrees(other, j, z)) return false;
+  }
+  return true;
 }
 
 std::size_t EvalReport::total_solver_iterations() const noexcept {
@@ -234,6 +280,61 @@ EvalReport Session::evaluate(const enterprise::RedundancyDesign& design,
         design, agg.rates, scenario_.engine().analyzer_options(), &availability_workspace());
     report.coa = coa.coa;
     report.availability_diagnostics = coa.diagnostics;
+  }
+  report.aggregation_diagnostics = agg.diagnostics;
+  report.wall_time_seconds = seconds_since(start);
+  return report;
+}
+
+EvalReport Session::evaluate_transient(const enterprise::RedundancyDesign& design) const {
+  return evaluate_transient(design, scenario_.patch_interval_hours());
+}
+
+EvalReport Session::evaluate_transient(const enterprise::RedundancyDesign& design,
+                                       double patch_interval_hours) const {
+  const auto start = Clock::now();
+  const EngineOptions& engine = scenario_.engine();
+  const std::vector<double> grid = engine.transient_grid();
+  const IntervalAggregation& agg = aggregation_for(patch_interval_hours);
+  const SecurityMetricsPair& security = security_for(design);
+
+  EvalReport report;
+  report.design = design;
+  report.patch_interval_hours = patch_interval_hours;
+  report.before_patch = security.before_patch;
+  report.after_patch = security.after_patch;
+  report.backend = engine.backend;
+  report.transient.time_points_hours = grid;
+
+  if (report.backend == EvalBackend::kSimulation) {
+    const avail::NetworkSrn net = avail::build_network_srn(design, agg.rates);
+    const petri::Marking window_start = avail::patch_window_marking(net, engine.initial_down);
+    const sim::SrnSimulator simulator(net.model);
+    // Unlike evaluate(), no engine.parallel override here: transient
+    // evaluation is never dispatched by run_batch, so the replication
+    // fan-out is the only pool and may use its full thread budget.
+    const sim::TransientCurveEstimate est = simulator.transient_reward_curve(
+        net.coa_reward(), grid, engine.simulation, &window_start);
+    report.transient.coa = est.mean;
+    report.transient.half_width_95 = est.half_width_95;
+    // The interval mean integrates the same trajectories the curve sampled.
+    report.transient.accumulated_coa_hours = est.interval_mean * report.transient.horizon_hours();
+    report.coa = est.interval_mean;
+    report.coa_half_width_95 = est.interval_half_width_95;
+    report.simulation_diagnostics = est.diagnostics;
+  } else {
+    avail::TransientCoaOptions options;
+    options.initial_down = engine.initial_down;
+    options.uniformization = engine.uniformization;
+    options.reachability = engine.reachability;
+    const avail::CoaCurveEvaluation eval =
+        avail::transient_coa_detailed(design, agg.rates, grid, options, &transient_workspace());
+    report.transient.coa.reserve(eval.curve.size());
+    for (const avail::CoaPoint& point : eval.curve) report.transient.coa.push_back(point.coa);
+    report.transient.accumulated_coa_hours = eval.accumulated_coa_hours;
+    report.coa = report.transient.interval_coa();
+    report.availability_diagnostics = eval.diagnostics;
+    report.transient_diagnostics = eval.transient;
   }
   report.aggregation_diagnostics = agg.diagnostics;
   report.wall_time_seconds = seconds_since(start);

@@ -1,20 +1,20 @@
 #pragma once
-// Transient analysis of a CTMC via Jensen's uniformization:
+// One-shot transient analysis of a CTMC via Jensen's uniformization:
 //   pi(t) = sum_{k>=0} Poisson(k; Lambda t) * pi(0) P^k,  P = I + Q/Lambda.
-// The Poisson tail is truncated once the accumulated mass exceeds
-// 1 - epsilon; for stiff patch models this keeps the expansion short.
+//
+// These are stateless convenience wrappers over ctmc::TransientSolver
+// (transient_solver.hpp) — each call builds the uniformized matrix, runs one
+// evaluation and discards the workspace.  Callers evaluating many time
+// points, curves, or repeated chains should hold a TransientSolver instead:
+// one prepare() amortizes the matrix build over every evaluation.
 
 #include <cstddef>
 #include <vector>
 
 #include "patchsec/ctmc/ctmc.hpp"
+#include "patchsec/ctmc/transient_solver.hpp"
 
 namespace patchsec::ctmc {
-
-struct TransientOptions {
-  double epsilon = 1e-12;        ///< truncation error bound on Poisson mass.
-  std::size_t max_terms = 2'000'000;  ///< hard cap on expansion length.
-};
 
 /// Distribution at time `t` starting from `initial` (must sum to 1).
 [[nodiscard]] std::vector<double> transient_distribution(const Ctmc& chain,
@@ -29,9 +29,11 @@ struct TransientOptions {
                                       double t,
                                       const TransientOptions& options = {});
 
-/// Expected accumulated reward over [0, t] (trapezoidal integration of the
-/// instantaneous reward over `steps` uniform sub-intervals).  Interval
-/// availability is this divided by t with an indicator reward.
+/// Expected accumulated reward over [0, t], evaluated exactly through the
+/// uniformization series (TransientSolver::accumulated_reward).  Interval
+/// availability is this divided by t with an indicator reward.  `steps` is
+/// the legacy trapezoidal-quadrature knob: it must still be positive (the
+/// historical contract) but no longer limits accuracy.
 [[nodiscard]] double accumulated_reward(const Ctmc& chain,
                                         const std::vector<double>& initial,
                                         const std::vector<double>& rewards,

@@ -1,66 +1,20 @@
 #include "patchsec/ctmc/transient.hpp"
 
-#include <cmath>
 #include <stdexcept>
-
-#include "patchsec/linalg/vector_ops.hpp"
 
 namespace patchsec::ctmc {
 
-namespace {
-
-double max_exit_rate(const Ctmc& chain) {
-  double m = 0.0;
-  for (std::size_t s = 0; s < chain.state_count(); ++s) m = std::max(m, chain.exit_rate(s));
-  return m;
-}
-
-}  // namespace
-
 std::vector<double> transient_distribution(const Ctmc& chain, const std::vector<double>& initial,
                                            double t, const TransientOptions& options) {
-  const std::size_t n = chain.state_count();
-  if (initial.size() != n) throw std::invalid_argument("transient: initial size mismatch");
+  if (initial.size() != chain.state_count()) {
+    throw std::invalid_argument("transient: initial size mismatch");
+  }
   if (t < 0.0) throw std::invalid_argument("transient: negative time");
-  if (t == 0.0) return initial;
-
-  const double lambda = std::max(max_exit_rate(chain) * 1.02, 1e-12);
-  const linalg::CsrMatrix q = chain.generator();
-
-  // Poisson(k; m) with m = lambda * t, computed iteratively in linear space
-  // with rescaling to dodge underflow for large m.
-  const double m = lambda * t;
-
-  std::vector<double> term = initial;  // pi(0) P^k
-  std::vector<double> piq(n);
-  std::vector<double> result(n, 0.0);
-
-  // log-space Poisson accumulation.
-  double log_pk = -m;  // log Poisson(0)
-  double mass = 0.0;
-  for (std::size_t k = 0; k <= options.max_terms; ++k) {
-    const double pk = std::exp(log_pk);
-    if (pk > 0.0) {
-      for (std::size_t i = 0; i < n; ++i) result[i] += pk * term[i];
-      mass += pk;
-    }
-    if (mass >= 1.0 - options.epsilon) break;
-    // term <- term * P = term + (term*Q)/lambda
-    q.left_multiply(term, piq);
-    for (std::size_t i = 0; i < n; ++i) {
-      term[i] += piq[i] / lambda;
-      if (term[i] < 0.0) term[i] = 0.0;  // round-off guard
-    }
-    log_pk += std::log(m) - std::log(static_cast<double>(k + 1));
-  }
-  if (mass < 1e-9) {
-    throw std::runtime_error(
-        "uniformization truncated before any Poisson mass accumulated; raise max_terms "
-        "(Lambda*t is too large for the configured expansion length)");
-  }
-  // Distribute the truncated tail proportionally (renormalize).
-  linalg::normalize_probability(result);
-  return result;
+  TransientSolver solver(options);
+  solver.prepare(chain);
+  std::vector<double> out;
+  solver.distribution_at(initial, t, out);
+  return out;
 }
 
 double transient_reward(const Ctmc& chain, const std::vector<double>& initial,
@@ -69,8 +23,9 @@ double transient_reward(const Ctmc& chain, const std::vector<double>& initial,
   if (rewards.size() != chain.state_count()) {
     throw std::invalid_argument("transient_reward: reward size mismatch");
   }
-  const std::vector<double> pi = transient_distribution(chain, initial, t, options);
-  return linalg::dot(pi, rewards);
+  TransientSolver solver(options);
+  solver.prepare(chain);
+  return solver.reward_at(initial, rewards, t);
 }
 
 double accumulated_reward(const Ctmc& chain, const std::vector<double>& initial,
@@ -79,15 +34,9 @@ double accumulated_reward(const Ctmc& chain, const std::vector<double>& initial,
   if (steps == 0) throw std::invalid_argument("accumulated_reward: steps must be positive");
   if (t < 0.0) throw std::invalid_argument("accumulated_reward: negative horizon");
   if (t == 0.0) return 0.0;
-  const double h = t / static_cast<double>(steps);
-  double acc = 0.0;
-  double prev = transient_reward(chain, initial, rewards, 0.0, options);
-  for (std::size_t k = 1; k <= steps; ++k) {
-    const double cur = transient_reward(chain, initial, rewards, h * static_cast<double>(k), options);
-    acc += 0.5 * (prev + cur) * h;
-    prev = cur;
-  }
-  return acc;
+  TransientSolver solver(options);
+  solver.prepare(chain);
+  return solver.accumulated_reward(initial, rewards, t);
 }
 
 }  // namespace patchsec::ctmc

@@ -1,0 +1,276 @@
+#include "patchsec/ctmc/transient_solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "patchsec/linalg/vector_ops.hpp"
+
+namespace patchsec::ctmc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+void TransientSolver::prepare(const Ctmc& chain) {
+  if (chain.state_count() == 0) {
+    throw std::invalid_argument("TransientSolver: empty chain");
+  }
+  const linalg::CsrMatrix q = chain.generator();
+  const bool same_structure = states_ == q.rows() && q_row_offsets_ == q.row_offsets() &&
+                              q_col_indices_ == q.col_indices();
+  if (same_structure) {
+    ++reuses_;
+  } else {
+    ++builds_;
+    q_row_offsets_ = q.row_offsets();
+    q_col_indices_ = q.col_indices();
+  }
+  states_ = q.rows();
+
+  // Lambda: strictly above the largest exit rate so the uniformized diagonal
+  // stays positive (all entries of P are then non-negative — no clamping is
+  // ever needed in the power iteration).
+  double max_exit = 0.0;
+  for (std::size_t s = 0; s < states_; ++s) max_exit = std::max(max_exit, chain.exit_rate(s));
+  lambda_ = max_exit * 1.02;
+
+  // Assemble P = I + Q/Lambda row by row.  Q rows are sorted; the diagonal
+  // entry gets +1 (inserted in order when Q stores none — absorbing states
+  // have empty rows).  clear()+push_back keeps the capacity of a previous
+  // build, so a same-structure refresh allocates nothing.
+  p_row_offsets_.clear();
+  p_col_indices_.clear();
+  p_values_.clear();
+  p_row_offsets_.reserve(states_ + 1);
+  p_row_offsets_.push_back(0);
+  const std::vector<std::size_t>& qro = q.row_offsets();
+  const std::vector<std::size_t>& qci = q.col_indices();
+  const std::vector<double>& qv = q.values();
+  const double inv_lambda = lambda_ > 0.0 ? 1.0 / lambda_ : 0.0;
+  for (std::size_t row = 0; row < states_; ++row) {
+    bool diagonal_seen = false;
+    for (std::size_t k = qro[row]; k < qro[row + 1]; ++k) {
+      const std::size_t col = qci[k];
+      if (!diagonal_seen && col >= row) {
+        diagonal_seen = true;
+        if (col == row) {
+          p_col_indices_.push_back(row);
+          p_values_.push_back(1.0 + qv[k] * inv_lambda);
+          continue;
+        }
+        p_col_indices_.push_back(row);
+        p_values_.push_back(1.0);
+      }
+      p_col_indices_.push_back(col);
+      p_values_.push_back(qv[k] * inv_lambda);
+    }
+    if (!diagonal_seen) {
+      p_col_indices_.push_back(row);
+      p_values_.push_back(1.0);
+    }
+    p_row_offsets_.push_back(p_col_indices_.size());
+  }
+
+  diagnostics_ = TransientDiagnostics{};
+  diagnostics_.uniformization_rate = lambda_;
+}
+
+void TransientSolver::reset() {
+  states_ = 0;
+  lambda_ = 0.0;
+  p_row_offsets_.clear();
+  p_col_indices_.clear();
+  p_values_.clear();
+  q_row_offsets_.clear();
+  q_col_indices_.clear();
+  weights_.clear();
+  diagnostics_ = TransientDiagnostics{};
+}
+
+void TransientSolver::poisson_window(double m) {
+  weights_.clear();
+  if (m <= 0.0) {
+    left_ = right_ = 0;
+    weights_.push_back(1.0);
+    mass_ = 1.0;
+    return;
+  }
+
+  // Expand outward from the mode with the ratio recurrences, in units of the
+  // mode weight (so nothing ever under- or overflows); the mode weight
+  // itself, exp(mode*ln m - m - lgamma(mode+1)) ~ 1/sqrt(2 pi m), converts
+  // relative sums back to true Poisson mass.  The frontier thresholds bound
+  // the discarded tails by ~epsilon/2 each (the left tail has at most `mode`
+  // terms, each below the frontier weight; the right tail decays faster than
+  // geometrically with ratio m/k < 1).
+  const std::size_t mode = static_cast<std::size_t>(m);
+  const double mode_weight =
+      std::exp(static_cast<double>(mode) * std::log(m) - m -
+               std::lgamma(static_cast<double>(mode) + 1.0));
+  const double right_threshold = options_.epsilon / (4.0 * mode_weight);
+  const double left_threshold =
+      options_.epsilon / (4.0 * mode_weight * static_cast<double>(mode + 1));
+
+  const auto overflow = [] {
+    throw std::runtime_error(
+        "uniformization: Poisson window exceeds max_terms; raise TransientOptions::max_terms "
+        "(Lambda*t is too large for the configured expansion length)");
+  };
+
+  left_ = mode;
+  double w = 1.0;
+  double total = 1.0;
+  left_scratch_.clear();  // [mode-1 .. left_], descending
+  while (left_ > 0 && w > left_threshold) {
+    w *= static_cast<double>(left_) / m;
+    --left_;
+    left_scratch_.push_back(w);
+    total += w;
+    if (left_scratch_.size() > options_.max_terms) overflow();
+  }
+  for (std::size_t i = left_scratch_.size(); i > 0; --i) weights_.push_back(left_scratch_[i - 1]);
+
+  right_ = mode;
+  w = 1.0;
+  weights_.push_back(1.0);  // the mode itself
+  while (w > right_threshold) {
+    if (weights_.size() > options_.max_terms) overflow();
+    ++right_;
+    w *= m / static_cast<double>(right_);
+    weights_.push_back(w);
+    total += w;
+  }
+
+  // weights_ now spans [left_..right_]; normalize over the window.
+  const double inv_total = 1.0 / total;
+  for (double& weight : weights_) weight *= inv_total;
+  mass_ = std::min(1.0, total * mode_weight);
+  if (mass_ < 1e-9) {
+    throw std::runtime_error(
+        "uniformization truncated before any Poisson mass accumulated; raise max_terms "
+        "(Lambda*t is too large for the configured expansion length)");
+  }
+  diagnostics_.left_point = left_;
+  diagnostics_.right_point = right_;
+  diagnostics_.poisson_mass = mass_;
+}
+
+void TransientSolver::step(std::vector<double>& state, const std::vector<double>* rewards,
+                           double dt, double* accumulated) {
+  if (dt <= 0.0) return;
+  if (lambda_ <= 0.0) {
+    // No transitions anywhere: the distribution is frozen.
+    if (accumulated != nullptr) *accumulated += linalg::dot(state, *rewards) * dt;
+    return;
+  }
+  poisson_window(lambda_ * dt);
+
+  term_ = state;
+  accum_.assign(states_, 0.0);
+  double cumulative = 0.0;  // F(k): Poisson CDF over the (normalized) window
+  for (std::size_t k = 0;; ++k) {
+    if (k >= left_) {
+      const double weight = weights_[k - left_];
+      for (std::size_t i = 0; i < states_; ++i) accum_[i] += weight * term_[i];
+      cumulative += weight;
+    }
+    if (accumulated != nullptr) {
+      // int_0^dt Poisson(k; Lambda s) ds = (1 - F(k)) / Lambda.
+      const double survival = std::max(0.0, 1.0 - cumulative);
+      *accumulated += survival * linalg::dot(term_, *rewards) / lambda_;
+    }
+    if (k >= right_) break;
+    // term <- term * P (row-vector times CSR matrix).
+    next_.assign(states_, 0.0);
+    for (std::size_t row = 0; row < states_; ++row) {
+      const double v = term_[row];
+      if (v == 0.0) continue;
+      for (std::size_t idx = p_row_offsets_[row]; idx < p_row_offsets_[row + 1]; ++idx) {
+        next_[p_col_indices_[idx]] += v * p_values_[idx];
+      }
+    }
+    term_.swap(next_);
+    ++diagnostics_.matvec_count;
+  }
+  // Round-off / truncation guard: the mixture of stochastic vectors is a
+  // distribution up to the discarded epsilon tail.
+  linalg::normalize_probability(accum_);
+  state = accum_;
+}
+
+void TransientSolver::distribution_at(const std::vector<double>& initial, double t,
+                                      std::vector<double>& out) {
+  if (!prepared()) throw std::logic_error("TransientSolver: prepare() has not run");
+  if (initial.size() != states_) {
+    throw std::invalid_argument("TransientSolver: initial size mismatch");
+  }
+  if (t < 0.0) throw std::invalid_argument("TransientSolver: negative time");
+  const auto start = Clock::now();
+  out = initial;
+  step(out, nullptr, t, nullptr);
+  diagnostics_.wall_time_seconds += seconds_since(start);
+}
+
+double TransientSolver::reward_at(const std::vector<double>& initial,
+                                  const std::vector<double>& rewards, double t) {
+  if (rewards.size() != states_) {
+    throw std::invalid_argument("TransientSolver: reward size mismatch");
+  }
+  distribution_at(initial, t, state_);
+  return linalg::dot(state_, rewards);
+}
+
+double TransientSolver::accumulated_reward(const std::vector<double>& initial,
+                                           const std::vector<double>& rewards, double t) {
+  if (!prepared()) throw std::logic_error("TransientSolver: prepare() has not run");
+  if (initial.size() != states_ || rewards.size() != states_) {
+    throw std::invalid_argument("TransientSolver: initial/reward size mismatch");
+  }
+  if (t < 0.0) throw std::invalid_argument("TransientSolver: negative horizon");
+  const auto start = Clock::now();
+  state_ = initial;
+  double accumulated = 0.0;
+  step(state_, &rewards, t, &accumulated);
+  diagnostics_.wall_time_seconds += seconds_since(start);
+  return accumulated;
+}
+
+double TransientSolver::reward_curve(const std::vector<double>& initial,
+                                     const std::vector<double>& rewards,
+                                     const std::vector<double>& time_points,
+                                     std::vector<double>& values) {
+  if (!prepared()) throw std::logic_error("TransientSolver: prepare() has not run");
+  if (initial.size() != states_ || rewards.size() != states_) {
+    throw std::invalid_argument("TransientSolver: initial/reward size mismatch");
+  }
+  if (time_points.empty()) throw std::invalid_argument("TransientSolver: empty time grid");
+  const auto start = Clock::now();
+  double previous = 0.0;
+  for (double t : time_points) {
+    if (t < 0.0) throw std::invalid_argument("TransientSolver: negative time point");
+    if (t < previous) throw std::invalid_argument("TransientSolver: time grid must be ascending");
+    previous = t;
+  }
+
+  values.resize(time_points.size());
+  state_ = initial;
+  double accumulated = 0.0;
+  previous = 0.0;
+  for (std::size_t j = 0; j < time_points.size(); ++j) {
+    step(state_, &rewards, time_points[j] - previous, &accumulated);
+    values[j] = linalg::dot(state_, rewards);
+    previous = time_points[j];
+  }
+  diagnostics_.wall_time_seconds += seconds_since(start);
+  return accumulated;
+}
+
+}  // namespace patchsec::ctmc

@@ -59,6 +59,23 @@ struct SimDiagnostics {
   unsigned threads_used = 1;
 };
 
+/// Replicated estimate of a transient reward curve: per-time-point means and
+/// 95% half widths, plus the time-averaged reward over [0, t_back] from the
+/// same replications (interval availability when the reward is COA).  The
+/// finite-horizon counterpart of ctmc::TransientSolver::reward_curve and the
+/// statistical oracle of the transient differential mode.
+struct TransientCurveEstimate {
+  std::vector<double> time_points;    ///< the grid evaluated (hours).
+  std::vector<double> mean;           ///< E[reward(X_t)] per grid point.
+  std::vector<double> half_width_95;  ///< 95% CI half width per grid point.
+  double interval_mean = 0.0;          ///< mean of (1/T) int_0^T reward dt.
+  double interval_half_width_95 = 0.0;  ///< its 95% CI half width.
+  SimDiagnostics diagnostics;
+};
+// Note: per-point band checks against this estimate live in ONE place,
+// core::EvalReport::transient_point_agrees — no convenience comparator here,
+// so verdict semantics (floors, quadrature combination) cannot fork.
+
 struct SimulationEstimate {
   double mean = 0.0;
   double half_width_95 = 0.0;  ///< 95% CI half width (batch or replication sample).
@@ -112,6 +129,21 @@ class SrnSimulator {
   [[nodiscard]] SimulationEstimate transient_reward(const petri::RewardFunction& reward,
                                                     double t, std::size_t replications = 2000,
                                                     std::uint64_t seed = 42) const;
+
+  /// Finite-horizon replicated estimate of the whole reward curve: each of
+  /// `options.replications` trajectories runs once from time 0 (or from
+  /// `start` when non-null — the patch-window entry marking) to the last
+  /// grid point with NO warmup discard, recording reward(X_t) at every grid
+  /// point and accumulating the reward-time integral as it goes.  Threaded
+  /// exactly like steady_state_reward_replicated (counter-based streams,
+  /// per-slot results, serial index-ordered reduction): bit-identical for a
+  /// given seed regardless of thread count.  Uses options.seed /
+  /// .replications / .threads / .max_vanishing_depth; the steady-state
+  /// horizon and warmup knobs are ignored.  `time_points` must be non-empty,
+  /// non-negative and ascending.
+  [[nodiscard]] TransientCurveEstimate transient_reward_curve(
+      const petri::RewardFunction& reward, const std::vector<double>& time_points,
+      const SimulationOptions& options = {}, const petri::Marking* start = nullptr) const;
 
  private:
   const petri::SrnModel& model_;

@@ -20,18 +20,45 @@
 
 namespace patchsec::testgen {
 
+/// Which measure the sweep cross-checks.
+enum class DifferentialMode : std::uint8_t {
+  /// Steady-state COA: the analytic value must fall inside the replicated
+  /// steady-state estimator's CI (the original harness).
+  kSteadyState,
+  /// The transient coa(t) curve over `transient_grid`, starting from the
+  /// patch-window marking (one server per deployed role down): the analytic
+  /// curve must lie inside the finite-horizon estimator's CI band at EVERY
+  /// grid point (EvalReport::transient_agrees_with).  The band is
+  /// SIMULTANEOUS at level z: per-point intervals are Bonferroni-widened so
+  /// the whole-curve coverage matches z, because the verdict quantifies over
+  /// the grid (per-point 95% intervals would miss ~23% of correct curves on
+  /// a 5-point grid).
+  kTransient,
+};
+
+[[nodiscard]] const char* to_string(DifferentialMode mode) noexcept;
+
 struct DifferentialOptions {
   std::size_t scenarios = 50;   ///< generated cases per run.
   double z = 1.96;              ///< CI level of the agreement check.
   std::size_t allowed_misses = 2;  ///< statistical-miss budget (see report).
+  DifferentialMode mode = DifferentialMode::kSteadyState;
+  /// Time grid of the transient mode (hours, ascending).  Spans the healing
+  /// time scale of the patch dip: sub-hour, the MTTR knee, and the settled
+  /// tail.
+  std::vector<double> transient_grid = {0.5, 2.0, 6.0, 12.0, 24.0};
   GeneratorOptions generator;      ///< scenario stream configuration.
   /// Replication budget of the simulation oracle.  The per-case seed is
   /// derived from the scenario seed (this field's `seed` is ignored) so the
-  /// whole run reproduces from the generator's campaign seed alone.
+  /// whole run reproduces from the generator's campaign seed alone.  The
+  /// transient mode uses `replications`/`threads` only (each replication is
+  /// one finite-horizon trajectory; no warmup, no batches).
   sim::SimulationOptions simulation;
 };
 
-/// One generated scenario, evaluated through both backends.
+/// One generated scenario, evaluated through both backends.  In transient
+/// mode the COA columns hold the time-averaged (interval) COA over the
+/// window and the per-point verdict lives in the grid columns below.
 struct DifferentialCase {
   std::uint64_t scenario_seed = 0;  ///< reproduces scenario AND estimates.
   std::string label;
@@ -40,14 +67,23 @@ struct DifferentialCase {
   double analytic_coa = 0.0;
   double simulated_coa = 0.0;   ///< replication mean.
   double half_width_95 = 0.0;   ///< 95% CI half width of simulated_coa.
-  bool inside_ci = false;       ///< analytic_coa inside the z-level CI.
+  bool inside_ci = false;       ///< analytic_coa inside the z-level CI
+                                ///< (transient mode: the whole curve inside
+                                ///< the band at every grid point).
   bool analytic_converged = true;  ///< every analytic solve converged.
+
+  // --- transient mode only --------------------------------------------------
+  std::size_t grid_points = 0;      ///< curve length (0 in steady-state mode).
+  std::size_t points_outside = 0;   ///< grid points where the band check failed.
+  double worst_point_hours = 0.0;   ///< grid point of the largest deviation.
+  double worst_deviation = 0.0;     ///< |analytic - simulated| there.
 };
 
 struct DifferentialReport {
   std::vector<DifferentialCase> cases;
   std::size_t misses = 0;  ///< cases with inside_ci == false.
   double z = 1.96;
+  DifferentialMode mode = DifferentialMode::kSteadyState;
 
   [[nodiscard]] bool passed(std::size_t allowed_misses) const noexcept {
     return misses <= allowed_misses;

@@ -2,12 +2,20 @@
 //
 //   differential_runner [--scenarios N] [--seed S] [--z Z]
 //                       [--allowed-misses M] [--threads T] [--quick]
+//                       [--transient] [--replications N]
 //                       [--repro SCENARIO_SEED] [--output PATH]
 //
-//   --quick    reduced replication budget (CI smoke: fewer/shorter
-//              replications); the pass/fail semantics are unchanged.
-//   --repro    replay ONE scenario from the seed a previous run logged,
-//              print its verdict and exit (0 = inside CI).
+//   --quick        reduced replication budget (CI smoke: fewer/shorter
+//                  replications); the pass/fail semantics are unchanged.
+//   --transient    cross-check the transient coa(t) curve (patch-wave start,
+//                  default 0.5..24 h grid) instead of the steady-state COA:
+//                  the analytic curve must lie inside the finite-horizon
+//                  estimator's CI band at every grid point.  Transient
+//                  replications are cheap (one 24 h trajectory each), so the
+//                  default budget is 512 (see --replications).
+//   --replications explicit replication budget for either mode.
+//   --repro        replay ONE scenario from the seed a previous run logged,
+//                  print its verdict and exit (0 = inside CI).
 //
 // Exit status: 0 when misses <= allowed_misses (or the repro case agrees),
 // 1 otherwise, 2 on usage errors.
@@ -34,6 +42,7 @@ int main(int argc, char** argv) {
   patchsec::testgen::DifferentialOptions options;
   std::string output;
   bool repro = false;
+  bool replications_set = false;
   std::uint64_t repro_seed = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -59,6 +68,12 @@ int main(int argc, char** argv) {
       options.simulation.replications = 16;
       options.simulation.warmup_hours = 1500.0;
       options.simulation.horizon_hours = 10000.0;
+      replications_set = true;
+    } else if (std::strcmp(argv[i], "--transient") == 0) {
+      options.mode = patchsec::testgen::DifferentialMode::kTransient;
+    } else if (std::strcmp(argv[i], "--replications") == 0) {
+      options.simulation.replications = std::strtoull(next_arg("--replications"), nullptr, 10);
+      replications_set = true;
     } else if (std::strcmp(argv[i], "--repro") == 0) {
       repro = true;
       repro_seed = std::strtoull(next_arg("--repro"), nullptr, 10);
@@ -67,10 +82,17 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scenarios N] [--seed S] [--z Z] [--allowed-misses M]\n"
-                   "          [--threads T] [--quick] [--repro SCENARIO_SEED] [--output PATH]\n",
+                   "          [--threads T] [--quick] [--transient] [--replications N]\n"
+                   "          [--repro SCENARIO_SEED] [--output PATH]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  // Transient replications simulate one short trajectory each; the 32-rep
+  // steady-state default would leave a needlessly coarse band.
+  if (options.mode == patchsec::testgen::DifferentialMode::kTransient && !replications_set) {
+    options.simulation.replications = 512;
   }
 
   if (repro) {
@@ -82,9 +104,9 @@ int main(int argc, char** argv) {
   const patchsec::testgen::DifferentialRunner runner(options);
   const patchsec::testgen::DifferentialReport report = runner.run();
   for (const auto& c : report.cases) print_case(c);
-  std::printf("differential: %zu/%zu inside the %.2f-sigma CI (%zu misses, budget %zu)\n",
-              report.cases.size() - report.misses, report.cases.size(), report.z, report.misses,
-              options.allowed_misses);
+  std::printf("differential[%s]: %zu/%zu inside the %.2f-sigma CI (%zu misses, budget %zu)\n",
+              patchsec::testgen::to_string(report.mode), report.cases.size() - report.misses,
+              report.cases.size(), report.z, report.misses, options.allowed_misses);
 
   if (!output.empty()) {
     std::ofstream out(output);

@@ -17,7 +17,101 @@ namespace {
 // draws: the two uses of one scenario seed must not correlate.
 constexpr std::uint64_t kSimulationSalt = 0x5eed0fdeadbeef01ull;
 
+// Per-point z of a SIMULTANEOUS level-z band over `points` grid points
+// (Bonferroni): the transient verdict is a whole-curve claim — "the analytic
+// curve lies inside the band everywhere" — so the per-point intervals are
+// widened until the familywise coverage matches the configured z.  Without
+// this, a 5-point grid at per-point 95% misses ~1 - 0.95^5 ~ 23% of
+// scenarios on independent points, blowing any sane miss budget with a
+// correct pipeline.  Solved by bisection on the normal CDF (the per-point
+// intervals themselves stay Student-t; the adjustment factor is normal-tail,
+// which is what Bonferroni prescribes asymptotically).
+double simultaneous_z(double z, std::size_t points) {
+  if (points <= 1) return z;
+  const auto tail = [](double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); };
+  const double target = tail(z) / static_cast<double>(points);
+  double lo = z, hi = z + 10.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (tail(mid) > target ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+// Patch-window entry state of the transient mode: one server of every
+// deployed role enters its patch window at t = 0 — the "patch wave" whose
+// healing the curve tracks.  Deterministic (no seed dependence), so the
+// analytic and simulated paths trivially agree on the start state.
+std::map<enterprise::ServerRole, unsigned> patch_wave(const enterprise::RedundancyDesign& design) {
+  std::map<enterprise::ServerRole, unsigned> down;
+  for (const enterprise::ServerRole role :
+       {enterprise::ServerRole::kDns, enterprise::ServerRole::kWeb, enterprise::ServerRole::kApp,
+        enterprise::ServerRole::kDb}) {
+    if (design.count(role) > 0) down.emplace(role, 1);
+  }
+  return down;
+}
+
+DifferentialCase run_case_transient(const GeneratedScenario& generated,
+                                    const DifferentialOptions& options) {
+  DifferentialCase result;
+  result.scenario_seed = generated.scenario_seed;
+  result.label = generated.label;
+  result.design = generated.design.name();
+  result.patch_interval_hours = generated.scenario.patch_interval_hours();
+  result.grid_points = options.transient_grid.size();
+
+  core::EngineOptions analytic_engine;
+  analytic_engine.backend = core::EvalBackend::kAnalytic;
+  analytic_engine.throw_on_divergence = false;
+  analytic_engine.time_points = options.transient_grid;
+  analytic_engine.initial_down = patch_wave(generated.design);
+  core::Scenario analytic = generated.scenario;
+  analytic.with_engine(analytic_engine);
+  const core::Session analytic_session(std::move(analytic));
+  const core::EvalReport analytic_report =
+      analytic_session.evaluate_transient(generated.design);
+  result.analytic_coa = analytic_report.coa;
+  result.analytic_converged = analytic_report.converged();
+
+  core::EngineOptions sim_engine = analytic_engine;
+  sim_engine.backend = core::EvalBackend::kSimulation;
+  sim_engine.simulation = options.simulation;
+  sim_engine.simulation.seed = sim::splitmix64(generated.scenario_seed ^ kSimulationSalt);
+  core::Scenario simulated = generated.scenario;
+  simulated.with_engine(sim_engine);
+  const core::Session sim_session(std::move(simulated));
+  const core::EvalReport sim_report = sim_session.evaluate_transient(generated.design);
+  result.simulated_coa = sim_report.coa;
+  result.half_width_95 = sim_report.coa_half_width_95;
+
+  const double z_point = simultaneous_z(options.z, options.transient_grid.size());
+  result.inside_ci = sim_report.transient_agrees_with(analytic_report, z_point);
+  // Per-point deviations, for the report (the verdict above is the
+  // authoritative band check).
+  for (std::size_t j = 0; j < sim_report.transient.coa.size(); ++j) {
+    const double deviation =
+        std::abs(sim_report.transient.coa[j] - analytic_report.transient.coa[j]);
+    if (deviation > result.worst_deviation) {
+      result.worst_deviation = deviation;
+      result.worst_point_hours = sim_report.transient.time_points_hours[j];
+    }
+  }
+  if (!result.inside_ci) {
+    // Count the failing points with exactly the band the verdict used.
+    for (std::size_t j = 0; j < sim_report.transient.coa.size(); ++j) {
+      if (!sim_report.transient_point_agrees(analytic_report, j, z_point)) {
+        ++result.points_outside;
+      }
+    }
+  }
+  return result;
+}
+
 DifferentialCase run_case(const GeneratedScenario& generated, const DifferentialOptions& options) {
+  if (options.mode == DifferentialMode::kTransient) {
+    return run_case_transient(generated, options);
+  }
   DifferentialCase result;
   result.scenario_seed = generated.scenario_seed;
   result.label = generated.label;
@@ -55,6 +149,16 @@ DifferentialCase run_case(const GeneratedScenario& generated, const Differential
 
 }  // namespace
 
+const char* to_string(DifferentialMode mode) noexcept {
+  switch (mode) {
+    case DifferentialMode::kSteadyState:
+      return "steady_state";
+    case DifferentialMode::kTransient:
+      return "transient";
+  }
+  return "unknown";
+}
+
 DifferentialRunner::DifferentialRunner(DifferentialOptions options)
     : options_(std::move(options)) {
   if (options_.scenarios == 0) {
@@ -64,11 +168,25 @@ DifferentialRunner::DifferentialRunner(DifferentialOptions options)
     throw std::invalid_argument("DifferentialRunner: z must be positive");
   }
   options_.simulation.validate();
+  if (options_.mode == DifferentialMode::kTransient) {
+    if (options_.transient_grid.empty()) {
+      throw std::invalid_argument("DifferentialRunner: transient mode needs a time grid");
+    }
+    double previous = 0.0;
+    for (double t : options_.transient_grid) {
+      if (t < 0.0 || t < previous) {
+        throw std::invalid_argument(
+            "DifferentialRunner: transient grid must be ascending and non-negative");
+      }
+      previous = t;
+    }
+  }
 }
 
 DifferentialReport DifferentialRunner::run() const {
   DifferentialReport report;
   report.z = options_.z;
+  report.mode = options_.mode;
   report.cases.reserve(options_.scenarios);
   ScenarioGenerator generator(options_.generator);
   for (std::size_t i = 0; i < options_.scenarios; ++i) {
@@ -84,9 +202,12 @@ DifferentialCase DifferentialRunner::run_one(std::uint64_t scenario_seed,
 }
 
 std::string DifferentialReport::to_json() const {
+  // Schema v2 adds "mode" and, in transient mode, the per-case band columns;
+  // v1 consumers of steady-state reports can ignore the new key.
   std::ostringstream out;
   out << std::setprecision(12);
-  out << "{\n  \"schema_version\": 1,\n  \"z\": " << z << ",\n  \"scenarios\": " << cases.size()
+  out << "{\n  \"schema_version\": 2,\n  \"mode\": \"" << to_string(mode)
+      << "\",\n  \"z\": " << z << ",\n  \"scenarios\": " << cases.size()
       << ",\n  \"misses\": " << misses << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const DifferentialCase& c = cases[i];
@@ -95,8 +216,14 @@ std::string DifferentialReport::to_json() const {
         << "\", \"patch_interval_hours\": " << c.patch_interval_hours
         << ", \"analytic_coa\": " << c.analytic_coa
         << ", \"simulated_coa\": " << c.simulated_coa
-        << ", \"half_width_95\": " << c.half_width_95
-        << ", \"inside_ci\": " << (c.inside_ci ? "true" : "false")
+        << ", \"half_width_95\": " << c.half_width_95;
+    if (mode == DifferentialMode::kTransient) {
+      out << ", \"grid_points\": " << c.grid_points
+          << ", \"points_outside\": " << c.points_outside
+          << ", \"worst_point_hours\": " << c.worst_point_hours
+          << ", \"worst_deviation\": " << c.worst_deviation;
+    }
+    out << ", \"inside_ci\": " << (c.inside_ci ? "true" : "false")
         << ", \"analytic_converged\": " << (c.analytic_converged ? "true" : "false") << "}"
         << (i + 1 < cases.size() ? "," : "") << "\n";
   }

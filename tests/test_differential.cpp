@@ -61,3 +61,128 @@ TEST(Differential, DegenerateHeavyStreamAgrees) {
   }
   EXPECT_TRUE(report.passed(options.allowed_misses)) << misses;
 }
+
+// ---------- transient mode ---------------------------------------------------
+
+// The transient differential sweep (the acceptance gate of the transient
+// engine): 50 generated scenarios, each entering a patch wave (one server
+// per deployed role down), the analytic coa(t) curve checked against the
+// finite-horizon estimator's simultaneous 95% CI band at every grid point.
+// Deterministic for the committed seed, exactly like the steady-state sweep.
+TEST(TransientDifferential, FiftyScenariosCurveInsideTheBand) {
+  tg::DifferentialOptions options;
+  options.mode = tg::DifferentialMode::kTransient;
+  options.simulation.replications = 512;
+  ASSERT_GE(options.scenarios, 50u);
+  ASSERT_LE(options.allowed_misses, 2u);
+
+  const tg::DifferentialReport report = tg::DifferentialRunner(options).run();
+  ASSERT_EQ(report.cases.size(), options.scenarios);
+  EXPECT_EQ(report.mode, tg::DifferentialMode::kTransient);
+
+  std::string misses;
+  for (const auto& c : report.cases) {
+    EXPECT_TRUE(c.analytic_converged) << c.label << " seed=" << c.scenario_seed;
+    EXPECT_EQ(c.grid_points, options.transient_grid.size());
+    if (!c.inside_ci) {
+      misses += "  seed=" + std::to_string(c.scenario_seed) + " " + c.label + " (" +
+                std::to_string(c.points_outside) + " points outside, worst at " +
+                std::to_string(c.worst_point_hours) + "h)\n";
+    }
+  }
+  EXPECT_TRUE(report.passed(options.allowed_misses))
+      << report.misses << " transient misses exceed the statistical budget of "
+      << options.allowed_misses << ":\n"
+      << misses << "reproduce with: differential_runner --transient --repro <seed>";
+}
+
+// The whole transient sweep — generation, analytic curves, replicated
+// curves, verdicts — must be bit-identical across simulation thread counts.
+TEST(TransientDifferential, SweepIsThreadCountInvariant) {
+  tg::DifferentialOptions options;
+  options.mode = tg::DifferentialMode::kTransient;
+  options.scenarios = 12;
+  options.simulation.replications = 128;
+
+  options.simulation.threads = 1;
+  const tg::DifferentialReport serial = tg::DifferentialRunner(options).run();
+  options.simulation.threads = 4;
+  const tg::DifferentialReport threaded = tg::DifferentialRunner(options).run();
+
+  ASSERT_EQ(serial.cases.size(), threaded.cases.size());
+  EXPECT_EQ(serial.misses, threaded.misses);
+  for (std::size_t i = 0; i < serial.cases.size(); ++i) {
+    EXPECT_EQ(serial.cases[i].scenario_seed, threaded.cases[i].scenario_seed);
+    EXPECT_EQ(serial.cases[i].analytic_coa, threaded.cases[i].analytic_coa) << "i=" << i;
+    EXPECT_EQ(serial.cases[i].simulated_coa, threaded.cases[i].simulated_coa) << "i=" << i;
+    EXPECT_EQ(serial.cases[i].half_width_95, threaded.cases[i].half_width_95) << "i=" << i;
+    EXPECT_EQ(serial.cases[i].inside_ci, threaded.cases[i].inside_ci) << "i=" << i;
+    EXPECT_EQ(serial.cases[i].worst_deviation, threaded.cases[i].worst_deviation) << "i=" << i;
+  }
+}
+
+// Degenerate corners through the transient engine: glacial repair makes the
+// curve nearly flat at the dip, saturated capacity blows up the state space,
+// single host collapses coa(0) to zero — all must still agree.
+TEST(TransientDifferential, DegenerateHeavyStreamAgrees) {
+  tg::DifferentialOptions options;
+  options.mode = tg::DifferentialMode::kTransient;
+  options.scenarios = 24;
+  options.allowed_misses = 2;
+  options.generator.seed = 77001;
+  options.generator.degenerate_fraction = 0.5;
+  options.simulation.replications = 512;
+
+  const tg::DifferentialReport report = tg::DifferentialRunner(options).run();
+  std::string misses;
+  for (const auto& c : report.cases) {
+    if (!c.inside_ci) {
+      misses += "  seed=" + std::to_string(c.scenario_seed) + " " + c.label + "\n";
+    }
+  }
+  EXPECT_TRUE(report.passed(options.allowed_misses)) << misses;
+}
+
+// One logged seed replays the full transient case (scenario, both curves,
+// verdict) — the repro contract of docs/TESTING.md extended to the new mode.
+TEST(TransientDifferential, RunOneReproducesACaseFromItsSeed) {
+  tg::DifferentialOptions options;
+  options.mode = tg::DifferentialMode::kTransient;
+  options.scenarios = 3;
+  options.simulation.replications = 64;
+
+  const tg::DifferentialReport report = tg::DifferentialRunner(options).run();
+  ASSERT_EQ(report.cases.size(), 3u);
+  const tg::DifferentialCase& original = report.cases[1];
+  const tg::DifferentialCase replay =
+      tg::DifferentialRunner::run_one(original.scenario_seed, options);
+  EXPECT_EQ(replay.scenario_seed, original.scenario_seed);
+  EXPECT_EQ(replay.label, original.label);
+  EXPECT_EQ(replay.analytic_coa, original.analytic_coa);
+  EXPECT_EQ(replay.simulated_coa, original.simulated_coa);
+  EXPECT_EQ(replay.half_width_95, original.half_width_95);
+  EXPECT_EQ(replay.inside_ci, original.inside_ci);
+}
+
+// The transient JSON report carries the mode and the per-case band columns.
+TEST(TransientDifferential, JsonCarriesModeAndBandColumns) {
+  tg::DifferentialOptions options;
+  options.mode = tg::DifferentialMode::kTransient;
+  options.scenarios = 2;
+  options.simulation.replications = 32;
+  const tg::DifferentialReport report = tg::DifferentialRunner(options).run();
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"transient\""), std::string::npos);
+  EXPECT_NE(json.find("\"grid_points\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"worst_deviation\""), std::string::npos);
+
+  tg::DifferentialOptions steady;
+  steady.scenarios = 1;
+  steady.simulation.replications = 8;
+  steady.simulation.warmup_hours = 100.0;
+  steady.simulation.horizon_hours = 500.0;
+  const std::string steady_json = tg::DifferentialRunner(steady).run().to_json();
+  EXPECT_NE(steady_json.find("\"mode\": \"steady_state\""), std::string::npos);
+  EXPECT_EQ(steady_json.find("\"grid_points\""), std::string::npos);
+}

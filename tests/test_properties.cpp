@@ -29,10 +29,17 @@ pt::SrnModel random_ring_net(std::mt19937_64& rng, std::size_t n) {
   pt::SrnModel net;
   std::vector<pt::PlaceId> places;
   for (std::size_t i = 0; i < n; ++i) {
-    places.push_back(net.add_place("p" + std::to_string(i), i == 0 ? 1 : 0));
+    // Built via append (not operator+ on a temporary) to dodge a GCC 12
+    // -Wrestrict false positive at -O3 (same workaround as
+    // heterogeneous_coa.cpp).
+    std::string name = "p";
+    name += std::to_string(i);
+    places.push_back(net.add_place(std::move(name), i == 0 ? 1 : 0));
   }
   for (std::size_t i = 0; i < n; ++i) {
-    const auto t = net.add_timed_transition("ring" + std::to_string(i), rate(rng));
+    std::string name = "ring";
+    name += std::to_string(i);
+    const auto t = net.add_timed_transition(std::move(name), rate(rng));
     net.add_input_arc(t, places[i]);
     net.add_output_arc(t, places[(i + 1) % n]);
   }

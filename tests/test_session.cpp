@@ -465,3 +465,93 @@ TEST(SessionBackend, SimulationOptionsAreValidatedAtEvaluate) {
   const core::Session session(core::Scenario::paper_case_study().with_engine(engine));
   EXPECT_THROW((void)session.evaluate(ent::RedundancyDesign{}), std::invalid_argument);
 }
+
+// ---------- memoization audit (backend / simulation-option aliasing) ---------
+
+// The Session caches are keyed per (role, patch-interval) for Table V
+// aggregations and per design-counts for HARM metrics — deliberately WITHOUT
+// EngineOptions::backend or the simulation options in the key.  That is
+// sound for exactly one reason: both caches hold backend-INDEPENDENT inputs
+// (the lower-layer aggregation is analytic under either backend, and HARM
+// never touches the solver), and a Session's EngineOptions are immutable
+// after construction (the Scenario is copied in), so no entry computed under
+// one backend can ever be served to a request with different engine options
+// within the same Session, and nothing COA-valued (the backend-dependent
+// output) is cached at all.  This suite is the regression guard on that
+// audit: if someone starts caching per-evaluation results, or lets a
+// Session's engine mutate, the assertions below catch the aliasing.
+TEST(SessionMemoizationAudit, BackendsNeverShareCoaResultsOnlyAnalyticInputs) {
+  core::EngineOptions sim_engine;
+  sim_engine.backend = core::EvalBackend::kSimulation;
+  sim_engine.simulation.replications = 24;
+  sim_engine.simulation.warmup_hours = 500.0;
+  sim_engine.simulation.horizon_hours = 4000.0;
+  sim_engine.simulation.seed = 321;
+
+  const core::Session analytic(core::Scenario::paper_case_study());
+  const core::Session simulated(core::Scenario::paper_case_study().with_engine(sim_engine));
+
+  // Interleave evaluations across the two sessions; every report must carry
+  // its own session's backend signature regardless of evaluation order.
+  const core::EvalReport s1 = simulated.evaluate(ent::example_network_design());
+  const core::EvalReport a1 = analytic.evaluate(ent::example_network_design());
+  const core::EvalReport s2 = simulated.evaluate(ent::example_network_design());
+  const core::EvalReport a2 = analytic.evaluate(ent::example_network_design());
+
+  // Analytic reports: deterministic COA from a real upper-layer solve, no CI.
+  EXPECT_EQ(a1.backend, core::EvalBackend::kAnalytic);
+  EXPECT_DOUBLE_EQ(a1.coa, a2.coa);
+  EXPECT_EQ(a1.coa_half_width_95, 0.0);
+  EXPECT_GT(a1.availability_diagnostics.tangible_states, 0u);
+  EXPECT_EQ(a1.simulation_diagnostics.replications, 0u);
+
+  // Simulated reports: replication estimate with a CI, NO analytic
+  // upper-layer solve; deterministic for the fixed seed.
+  EXPECT_EQ(s1.backend, core::EvalBackend::kSimulation);
+  EXPECT_DOUBLE_EQ(s1.coa, s2.coa);
+  EXPECT_GT(s1.coa_half_width_95, 0.0);
+  EXPECT_EQ(s1.availability_diagnostics.tangible_states, 0u);
+  EXPECT_EQ(s1.simulation_diagnostics.replications, 24u);
+
+  // The estimates genuinely differ (a cache serving one for the other would
+  // make them equal), while agreeing statistically.
+  EXPECT_NE(s1.coa, a1.coa);
+  EXPECT_TRUE(s1.agrees_with(a1, 4.0));
+
+  // What IS shared across backends is the backend-independent lower layer:
+  // identical Table V rates from both sessions' caches.
+  const auto& analytic_rates = analytic.aggregated_rates();
+  const auto& sim_rates = simulated.aggregated_rates();
+  for (const auto& [role, rate] : analytic_rates) {
+    EXPECT_DOUBLE_EQ(rate.lambda_eq, sim_rates.at(role).lambda_eq);
+    EXPECT_DOUBLE_EQ(rate.mu_eq, sim_rates.at(role).mu_eq);
+  }
+}
+
+TEST(SessionMemoizationAudit, TransientAndSteadyShareOnlyTheAggregationCache) {
+  // Same invariant on the evaluate_transient path: the transient curve is
+  // computed fresh per call (only aggregations are memoized), so transient
+  // reports through different backends stay backend-true.
+  core::EngineOptions transient_sim;
+  transient_sim.backend = core::EvalBackend::kSimulation;
+  transient_sim.time_points = {0.0, 2.0, 12.0};
+  transient_sim.simulation.replications = 48;
+  transient_sim.simulation.seed = 9;
+
+  core::EngineOptions transient_analytic;
+  transient_analytic.time_points = {0.0, 2.0, 12.0};
+
+  const core::Session analytic(core::Scenario::paper_case_study().with_engine(transient_analytic));
+  const core::Session simulated(core::Scenario::paper_case_study().with_engine(transient_sim));
+  const core::EvalReport s = simulated.evaluate_transient(ent::example_network_design());
+  const core::EvalReport a = analytic.evaluate_transient(ent::example_network_design());
+
+  EXPECT_EQ(s.backend, core::EvalBackend::kSimulation);
+  EXPECT_EQ(a.backend, core::EvalBackend::kAnalytic);
+  EXPECT_FALSE(s.transient.half_width_95.empty());
+  EXPECT_TRUE(a.transient.half_width_95.empty());
+  EXPECT_GT(s.simulation_diagnostics.events_fired, 0u);
+  EXPECT_EQ(a.simulation_diagnostics.events_fired, 0u);
+  EXPECT_GT(a.transient_diagnostics.matvec_count, 0u);
+  EXPECT_EQ(s.transient_diagnostics.matvec_count, 0u);
+}

@@ -341,3 +341,127 @@ TEST(Simulator, TransientValidation) {
   EXPECT_THROW((void)simulator.transient_reward([](const pt::Marking&) { return 1.0; }, 1.0, 1),
                std::invalid_argument);
 }
+
+// ---------- finite-horizon transient curve estimator -------------------------
+
+TEST(TransientCurve, MatchesClosedFormAtEveryGridPoint) {
+  const double lambda = 0.8, mu = 1.6;
+  const pt::SrnModel net = up_down_net(lambda, mu);
+  sm::SrnSimulator simulator(net);
+  const auto up_place = net.place("up");
+  const auto reward = [up_place](const pt::Marking& m) { return m[up_place] == 1 ? 1.0 : 0.0; };
+  sm::SimulationOptions opt;
+  opt.seed = 99;
+  opt.replications = 4000;
+  const std::vector<double> grid = {0.0, 0.1, 0.5, 2.0, 5.0};
+  const sm::TransientCurveEstimate est = simulator.transient_reward_curve(reward, grid, opt);
+  ASSERT_EQ(est.mean.size(), grid.size());
+  ASSERT_EQ(est.half_width_95.size(), grid.size());
+  EXPECT_EQ(est.time_points, grid);
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    const double t = grid[j];
+    const double closed =
+        mu / (lambda + mu) + lambda / (lambda + mu) * std::exp(-(lambda + mu) * t);
+    EXPECT_NEAR(est.mean[j], closed, 3.0 * std::max(est.half_width_95[j], 1e-3)) << "t=" << t;
+  }
+  // t = 0 is the (deterministic) start state.
+  EXPECT_DOUBLE_EQ(est.mean[0], 1.0);
+  // Interval availability over [0, 5]: (1/T) int_0^T P(up at s) ds, closed
+  // form from integrating the expression above.
+  const double t_back = grid.back();
+  const double closed_interval =
+      mu / (lambda + mu) +
+      lambda / ((lambda + mu) * (lambda + mu) * t_back) *
+          (1.0 - std::exp(-(lambda + mu) * t_back));
+  EXPECT_NEAR(est.interval_mean, closed_interval,
+              3.0 * std::max(est.interval_half_width_95, 1e-3));
+  EXPECT_GT(est.diagnostics.events_fired, 0u);
+  EXPECT_EQ(est.diagnostics.replications, 4000u);
+}
+
+TEST(TransientCurve, BitIdenticalAcrossThreadCounts) {
+  const pt::SrnModel net = up_down_net(0.3, 0.9);
+  sm::SrnSimulator simulator(net);
+  const auto up_place = net.place("up");
+  const auto reward = [up_place](const pt::Marking& m) { return m[up_place] == 1 ? 1.0 : 0.0; };
+  sm::SimulationOptions opt;
+  opt.seed = 20170626;
+  opt.replications = 64;
+  const std::vector<double> grid = {0.5, 1.5, 4.0};
+
+  opt.threads = 1;
+  const auto serial = simulator.transient_reward_curve(reward, grid, opt);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    opt.threads = threads;
+    const auto threaded = simulator.transient_reward_curve(reward, grid, opt);
+    for (std::size_t j = 0; j < grid.size(); ++j) {
+      EXPECT_EQ(serial.mean[j], threaded.mean[j]) << "threads=" << threads << " j=" << j;
+      EXPECT_EQ(serial.half_width_95[j], threaded.half_width_95[j])
+          << "threads=" << threads << " j=" << j;
+    }
+    EXPECT_EQ(serial.interval_mean, threaded.interval_mean) << "threads=" << threads;
+    EXPECT_EQ(serial.diagnostics.events_fired, threaded.diagnostics.events_fired)
+        << "threads=" << threads;
+  }
+}
+
+TEST(TransientCurve, CustomStartMarkingIsHonored) {
+  // Start from the down state instead of the net's initial (up) marking:
+  // P(up at t) = (mu/(lambda+mu)) (1 - e^{-(lambda+mu)t}).
+  const double lambda = 0.4, mu = 1.2;
+  const pt::SrnModel net = up_down_net(lambda, mu);
+  sm::SrnSimulator simulator(net);
+  const auto up_place = net.place("up");
+  const auto reward = [up_place](const pt::Marking& m) { return m[up_place] == 1 ? 1.0 : 0.0; };
+  pt::Marking down_start = net.initial_marking();
+  down_start[net.place("up")] = 0;
+  down_start[net.place("down")] = 1;
+  sm::SimulationOptions opt;
+  opt.seed = 5;
+  opt.replications = 4000;
+  const auto est = simulator.transient_reward_curve(reward, {0.0, 1.0}, opt, &down_start);
+  EXPECT_DOUBLE_EQ(est.mean[0], 0.0);
+  const double closed = mu / (lambda + mu) * (1.0 - std::exp(-(lambda + mu) * 1.0));
+  EXPECT_NEAR(est.mean[1], closed, 3.0 * std::max(est.half_width_95[1], 1e-3));
+}
+
+TEST(TransientCurve, DeadMarkingHoldsToTheHorizon) {
+  // A net whose only transition dies after one firing: past the death the
+  // reward must hold for every remaining grid point and the integral.
+  pt::SrnModel net;
+  const auto up = net.add_place("up", 1);
+  const auto gone = net.add_place("gone", 0);
+  const auto die = net.add_timed_transition("die", 1000.0);  // dies ~instantly
+  net.add_input_arc(die, up);
+  net.add_output_arc(die, gone);
+  sm::SrnSimulator simulator(net);
+  const auto reward = [up](const pt::Marking& m) { return m[up] == 1 ? 1.0 : 0.0; };
+  sm::SimulationOptions opt;
+  opt.seed = 11;
+  opt.replications = 32;
+  const auto est = simulator.transient_reward_curve(reward, {5.0, 50.0}, opt);
+  EXPECT_DOUBLE_EQ(est.mean[0], 0.0);
+  EXPECT_DOUBLE_EQ(est.mean[1], 0.0);
+  EXPECT_NEAR(est.interval_mean, 0.0, 1e-3);  // ~1/1000 h of uptime over 50 h
+}
+
+TEST(TransientCurve, Validation) {
+  const pt::SrnModel net = up_down_net(1.0, 1.0);
+  sm::SrnSimulator simulator(net);
+  const auto reward = [](const pt::Marking&) { return 1.0; };
+  sm::SimulationOptions opt;
+  EXPECT_THROW((void)simulator.transient_reward_curve(nullptr, {1.0}, opt),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulator.transient_reward_curve(reward, {}, opt), std::invalid_argument);
+  EXPECT_THROW((void)simulator.transient_reward_curve(reward, {1.0, 0.5}, opt),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulator.transient_reward_curve(reward, {-1.0}, opt),
+               std::invalid_argument);
+  opt.replications = 1;
+  EXPECT_THROW((void)simulator.transient_reward_curve(reward, {1.0}, opt),
+               std::invalid_argument);
+  opt.replications = 32;
+  pt::Marking bad_size;
+  EXPECT_THROW((void)simulator.transient_reward_curve(reward, {1.0}, opt, &bad_size),
+               std::invalid_argument);
+}

@@ -1,0 +1,265 @@
+// The transient evaluation path of the facade (Session::evaluate_transient):
+// grid resolution, both backends, curve shape against the avail-layer engine
+// and against steady state, cache sharing with the steady-state path, the
+// CI-band agreement check, and the JSON curve payload.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "patchsec/avail/transient_coa.hpp"
+#include "patchsec/core/report.hpp"
+#include "patchsec/core/session.hpp"
+#include "patchsec/enterprise/network.hpp"
+
+namespace av = patchsec::avail;
+namespace core = patchsec::core;
+namespace ent = patchsec::enterprise;
+
+namespace {
+
+core::Scenario transient_scenario(core::EngineOptions engine = {}) {
+  return core::Scenario::paper_case_study().with_engine(engine);
+}
+
+}  // namespace
+
+// ---------- grid resolution --------------------------------------------------
+
+TEST(TransientGrid, DerivedGridSpansZeroToHorizon) {
+  core::EngineOptions engine;
+  engine.horizon_hours = 12.0;
+  engine.transient_points = 5;
+  const std::vector<double> grid = engine.transient_grid();
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 12.0);
+  EXPECT_DOUBLE_EQ(grid[1], 3.0);
+}
+
+TEST(TransientGrid, ExplicitGridWinsAndIsValidated) {
+  core::EngineOptions engine;
+  engine.time_points = {0.0, 1.0, 4.0};
+  engine.horizon_hours = -1.0;  // ignored when time_points is set
+  EXPECT_EQ(engine.transient_grid(), engine.time_points);
+
+  engine.time_points = {1.0, 0.5};
+  EXPECT_THROW((void)engine.transient_grid(), std::invalid_argument);
+  engine.time_points = {-1.0};
+  EXPECT_THROW((void)engine.transient_grid(), std::invalid_argument);
+  engine.time_points = {0.0};  // zero-length window: no interval COA
+  EXPECT_THROW((void)engine.transient_grid(), std::invalid_argument);
+
+  engine.time_points.clear();
+  EXPECT_THROW((void)engine.transient_grid(), std::invalid_argument);  // horizon < 0
+  engine.horizon_hours = 24.0;
+  engine.transient_points = 1;
+  EXPECT_THROW((void)engine.transient_grid(), std::invalid_argument);
+}
+
+// ---------- analytic backend -------------------------------------------------
+
+TEST(TransientEngine, AnalyticCurveHealsFromThePatchWindowDip) {
+  core::EngineOptions engine;
+  engine.time_points = {0.0, 0.5, 1.0, 2.0, 6.0, 1000.0};
+  engine.initial_down = {{ent::ServerRole::kApp, 1}};
+  const core::Session session(transient_scenario(engine));
+  const core::EvalReport report = session.evaluate_transient(ent::example_network_design());
+
+  ASSERT_EQ(report.transient.time_points_hours.size(), 6u);
+  ASSERT_EQ(report.transient.coa.size(), 6u);
+  EXPECT_TRUE(report.transient.half_width_95.empty());  // deterministic backend
+  EXPECT_EQ(report.backend, core::EvalBackend::kAnalytic);
+  EXPECT_TRUE(report.converged());
+
+  // t = 0: one of six servers down -> exactly 5/6.
+  EXPECT_NEAR(report.transient.coa[0], 5.0 / 6.0, 1e-9);
+  // Monotone healing toward steady state on the MTTR time scale.
+  for (std::size_t j = 1; j + 1 < report.transient.coa.size(); ++j) {
+    EXPECT_GT(report.transient.coa[j], report.transient.coa[j - 1]) << "j=" << j;
+  }
+  const core::EvalReport steady = session.evaluate(ent::example_network_design());
+  EXPECT_NEAR(report.transient.coa.back(), steady.coa, 1e-4);
+
+  // The report's scalar COA is the window average, between the dip and the
+  // steady value.
+  EXPECT_GT(report.coa, 5.0 / 6.0);
+  EXPECT_LT(report.coa, 1.0);
+  EXPECT_NEAR(report.coa, report.transient.interval_coa(), 1e-12);
+  EXPECT_NEAR(report.transient.accumulated_coa_hours,
+              report.transient.interval_coa() * 1000.0, 1e-9);
+
+  // Uniformization diagnostics are populated, and the upper-layer model size
+  // is reported like the steady path reports its solve.
+  EXPECT_GT(report.transient_diagnostics.uniformization_rate, 0.0);
+  EXPECT_GT(report.transient_diagnostics.matvec_count, 0u);
+  EXPECT_EQ(report.availability_diagnostics.tangible_states, 36u);
+  EXPECT_GT(report.total_solver_iterations(), 0u);
+}
+
+TEST(TransientEngine, MatchesTheAvailLayerEngine) {
+  // The facade must be a plumbing layer over avail::transient_coa_detailed,
+  // not a second implementation.
+  core::EngineOptions engine;
+  engine.time_points = {0.0, 1.0, 8.0};
+  engine.initial_down = {{ent::ServerRole::kWeb, 1}};
+  const core::Session session(transient_scenario(engine));
+  const core::EvalReport report = session.evaluate_transient(ent::example_network_design());
+
+  av::TransientCoaOptions options;
+  options.initial_down = engine.initial_down;
+  const av::CoaCurveEvaluation direct = av::transient_coa_detailed(
+      ent::example_network_design(), session.aggregated_rates(), engine.time_points, options);
+  ASSERT_EQ(direct.curve.size(), report.transient.coa.size());
+  for (std::size_t j = 0; j < direct.curve.size(); ++j) {
+    EXPECT_NEAR(report.transient.coa[j], direct.curve[j].coa, 1e-12) << "j=" << j;
+  }
+  EXPECT_NEAR(report.transient.accumulated_coa_hours, direct.accumulated_coa_hours, 1e-12);
+}
+
+TEST(TransientEngine, SharesTheAggregationCacheWithTheSteadyPath) {
+  // evaluate() then evaluate_transient() at the same cadence must reuse the
+  // memoized per-(role, interval) aggregation: identical Table V diagnostics
+  // objects (wall times are recorded at first computation, so a recompute
+  // would almost surely differ), and aggregated_rates() stays stable.
+  const core::Session session(transient_scenario());
+  const core::EvalReport steady = session.evaluate(ent::example_network_design());
+  const auto rates_before = session.aggregated_rates();
+  const core::EvalReport transient = session.evaluate_transient(ent::example_network_design());
+  for (const auto& [role, diag] : steady.aggregation_diagnostics) {
+    const auto it = transient.aggregation_diagnostics.find(role);
+    ASSERT_NE(it, transient.aggregation_diagnostics.end());
+    EXPECT_EQ(diag.wall_time_seconds, it->second.wall_time_seconds);
+    EXPECT_EQ(diag.solver_iterations, it->second.solver_iterations);
+  }
+  const auto& rates_after = session.aggregated_rates();
+  for (const auto& [role, rate] : rates_before) {
+    EXPECT_EQ(rate.mu_eq, rates_after.at(role).mu_eq);
+  }
+}
+
+TEST(TransientEngine, ExplicitCadenceChangesTheCurve) {
+  core::EngineOptions engine;
+  engine.time_points = {0.0, 24.0, 5000.0};
+  const core::Session session(transient_scenario(engine));
+  // All-up start: the curve decays from 1 toward the cadence's steady state,
+  // so a faster cadence must sit lower at the far point.
+  const core::EvalReport monthly =
+      session.evaluate_transient(ent::example_network_design(), 720.0);
+  const core::EvalReport weekly =
+      session.evaluate_transient(ent::example_network_design(), 168.0);
+  EXPECT_NEAR(monthly.transient.coa.front(), 1.0, 1e-12);
+  EXPECT_NEAR(weekly.transient.coa.front(), 1.0, 1e-12);
+  EXPECT_LT(weekly.transient.coa.back(), monthly.transient.coa.back());
+  EXPECT_EQ(monthly.patch_interval_hours, 720.0);
+}
+
+// ---------- simulation backend ----------------------------------------------
+
+TEST(TransientEngine, SimulationBackendAgreesWithAnalyticCurve) {
+  core::EngineOptions analytic_engine;
+  analytic_engine.time_points = {0.0, 0.5, 1.0, 2.0, 6.0, 24.0};
+  analytic_engine.initial_down = {{ent::ServerRole::kApp, 1}, {ent::ServerRole::kWeb, 1}};
+
+  core::EngineOptions sim_engine = analytic_engine;
+  sim_engine.backend = core::EvalBackend::kSimulation;
+  sim_engine.simulation.seed = 20170626;
+  sim_engine.simulation.replications = 768;
+
+  const core::Session analytic_session(transient_scenario(analytic_engine));
+  const core::Session sim_session(transient_scenario(sim_engine));
+  const core::EvalReport analytic =
+      analytic_session.evaluate_transient(ent::example_network_design());
+  const core::EvalReport simulated =
+      sim_session.evaluate_transient(ent::example_network_design());
+
+  EXPECT_EQ(simulated.backend, core::EvalBackend::kSimulation);
+  ASSERT_EQ(simulated.transient.coa.size(), 6u);
+  ASSERT_EQ(simulated.transient.half_width_95.size(), 6u);
+  EXPECT_EQ(simulated.simulation_diagnostics.replications, 768u);
+  EXPECT_GT(simulated.simulation_diagnostics.events_fired, 0u);
+
+  // t = 0 is deterministic in both backends: two servers of six down (the
+  // half width is round-off dust — every replication recorded 4/6).
+  EXPECT_NEAR(simulated.transient.coa[0], 4.0 / 6.0, 1e-12);
+  EXPECT_LT(simulated.transient.half_width_95[0], 1e-12);
+
+  // The committed seed agrees curve-wide at the default band; the scalar
+  // (interval) COA agrees through the steady-state-style check.
+  EXPECT_TRUE(simulated.transient_agrees_with(analytic, 1.96));
+  EXPECT_TRUE(simulated.agrees_with(analytic, 1.96));
+  EXPECT_GT(simulated.coa_half_width_95, 0.0);
+}
+
+TEST(TransientEngine, SimulationCurveIsThreadCountInvariant) {
+  core::EngineOptions engine;
+  engine.backend = core::EvalBackend::kSimulation;
+  engine.time_points = {0.0, 1.0, 6.0, 24.0};
+  engine.initial_down = {{ent::ServerRole::kDb, 1}};
+  engine.simulation.replications = 96;
+  engine.simulation.seed = 7;
+
+  engine.simulation.threads = 1;
+  const core::Session serial(transient_scenario(engine));
+  engine.simulation.threads = 4;
+  const core::Session threaded(transient_scenario(engine));
+
+  const core::EvalReport a = serial.evaluate_transient(ent::example_network_design());
+  const core::EvalReport b = threaded.evaluate_transient(ent::example_network_design());
+  ASSERT_EQ(a.transient.coa.size(), b.transient.coa.size());
+  for (std::size_t j = 0; j < a.transient.coa.size(); ++j) {
+    EXPECT_EQ(a.transient.coa[j], b.transient.coa[j]) << "j=" << j;  // bit-identical
+    EXPECT_EQ(a.transient.half_width_95[j], b.transient.half_width_95[j]) << "j=" << j;
+  }
+  EXPECT_EQ(a.coa, b.coa);
+  EXPECT_EQ(a.simulation_diagnostics.events_fired, b.simulation_diagnostics.events_fired);
+}
+
+// ---------- agreement semantics ----------------------------------------------
+
+TEST(TransientEngine, AgreementRejectsMismatchedOrMissingCurves) {
+  core::EngineOptions engine;
+  engine.time_points = {0.0, 1.0, 4.0};
+  const core::Session session(transient_scenario(engine));
+  const core::EvalReport curve = session.evaluate_transient(ent::example_network_design());
+  const core::EvalReport steady = session.evaluate(ent::example_network_design());
+  EXPECT_FALSE(curve.transient_agrees_with(steady));  // no curve on the other side
+  EXPECT_FALSE(steady.transient_agrees_with(curve));
+
+  core::EngineOptions other_grid = engine;
+  other_grid.time_points = {0.0, 2.0, 4.0};
+  const core::Session other_session(transient_scenario(other_grid));
+  const core::EvalReport other = other_session.evaluate_transient(ent::example_network_design());
+  EXPECT_FALSE(curve.transient_agrees_with(other));  // different grids never compare
+
+  // Identical analytic evaluations agree within round-off.
+  const core::EvalReport again = session.evaluate_transient(ent::example_network_design());
+  EXPECT_TRUE(curve.transient_agrees_with(again));
+}
+
+// ---------- report payload ---------------------------------------------------
+
+TEST(TransientEngine, JsonCarriesTheCurvePayload) {
+  core::EngineOptions engine;
+  engine.time_points = {0.0, 2.0, 24.0};
+  engine.initial_down = {{ent::ServerRole::kApp, 1}};
+  const core::Session session(transient_scenario(engine));
+  const core::EvalReport report = session.evaluate_transient(ent::example_network_design());
+
+  std::ostringstream out;
+  core::write_json(out, std::vector<core::EvalReport>{report});
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"transient\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_points_hours\":[0,2,24]"), std::string::npos);
+  EXPECT_NE(json.find("\"accumulated_coa_hours\""), std::string::npos);
+  EXPECT_NE(json.find("\"interval_coa\""), std::string::npos);
+  EXPECT_NE(json.find("\"uniformization\""), std::string::npos);
+
+  // Steady-state reports must NOT grow a transient block.
+  std::ostringstream steady_out;
+  core::write_json(steady_out,
+                   std::vector<core::EvalReport>{session.evaluate(ent::example_network_design())});
+  EXPECT_EQ(steady_out.str().find("\"transient\""), std::string::npos);
+}
