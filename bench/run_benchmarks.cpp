@@ -24,6 +24,9 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+
+#include "patchsec/avail/lumped_coa.hpp"
 #include "patchsec/avail/transient_coa.hpp"
 #include "patchsec/avail/network_srn.hpp"
 #include "patchsec/core/session.hpp"
@@ -51,7 +54,8 @@ struct BenchResult {
   std::size_t tangible_states = 0;
   std::size_t ctmc_transitions = 0;
   std::size_t solver_iterations = 0;
-  std::uint64_t events_fired = 0;  ///< simulation benches: Monte-Carlo firings
+  std::uint64_t events_fired = 0;    ///< simulation benches: Monte-Carlo firings
+  std::size_t flat_states = 0;       ///< lumped benches: size of the avoided flat space
   bool converged = true;
 };
 
@@ -60,6 +64,7 @@ struct Sample {
   std::size_t ctmc_transitions = 0;
   std::size_t solver_iterations = 0;
   std::uint64_t events_fired = 0;
+  std::size_t flat_states = 0;
   bool converged = true;
 };
 
@@ -86,6 +91,7 @@ BenchResult run_bench(const std::string& name, std::size_t reps,
   result.ctmc_transitions = sample.ctmc_transitions;
   result.solver_iterations = sample.solver_iterations;
   result.events_fired = sample.events_fired;
+  result.flat_states = sample.flat_states;
   result.converged = sample.converged;
   std::printf("%-32s best %10.6fs  mean %10.6fs  states %7zu  iters %6zu%s\n",
               result.name.c_str(), result.wall_seconds_best, result.wall_seconds_mean,
@@ -331,6 +337,78 @@ int main(int argc, char** argv) {
         }));
   }
 
+  // Symmetry-lumped evaluation (schema v4 rows): steady-state COA by product
+  // form over the per-tier birth-death chains.  At k=6 the flat k=6 solve
+  // exists as an in-run oracle, so `converged` additionally asserts 1e-10
+  // agreement; at k=50 the flat chain (51^4 = 6,765,201 states) is out of
+  // reach and the closed form is the cross-check.  `flat_states` records the
+  // joint space each lumped solve avoided — the headline state-count ratio.
+  {
+    const core::Session session(core::Scenario::paper_case_study());
+    const auto& rates = session.aggregated_rates();
+
+    const ent::RedundancyDesign k6{{6, 6, 6, 6}};
+    const double flat_k6 =
+        av::capacity_oriented_availability_detailed(k6, rates, pt::AnalyzerOptions{}).coa;
+    results.push_back(run_bench("lumped_k6_evaluate", reps, [&rates, &k6, flat_k6]() -> Sample {
+      const av::CoaEvaluation eval =
+          av::capacity_oriented_availability_lumped_detailed(k6, rates);
+      Sample s;
+      s.tangible_states = eval.diagnostics.tangible_states;
+      s.ctmc_transitions = eval.diagnostics.transitions;
+      s.solver_iterations = eval.diagnostics.solver_iterations;
+      s.flat_states = eval.diagnostics.flat_states;
+      s.converged = eval.diagnostics.converged && std::abs(eval.coa - flat_k6) <= 1e-10;
+      return s;
+    }));
+
+    const ent::RedundancyDesign k50{{50, 50, 50, 50}};
+    const double closed_k50 = av::coa_closed_form(k50, rates);
+    results.push_back(
+        run_bench("lumped_k50_evaluate", reps, [&rates, &k50, closed_k50]() -> Sample {
+          const av::CoaEvaluation eval =
+              av::capacity_oriented_availability_lumped_detailed(k50, rates);
+          Sample s;
+          s.tangible_states = eval.diagnostics.tangible_states;
+          s.ctmc_transitions = eval.diagnostics.transitions;
+          s.solver_iterations = eval.diagnostics.solver_iterations;
+          s.flat_states = eval.diagnostics.flat_states;
+          s.converged = eval.diagnostics.converged &&
+                        std::abs(eval.coa - closed_k50) <= 1e-9 &&
+                        eval.diagnostics.flat_states >=
+                            100 * eval.diagnostics.tangible_states;
+          return s;
+        }));
+
+    // Transient product form at k=50: a 5-servers-per-tier patch wave over
+    // the 16-point 24 h grid.  solver_iterations counts the summed
+    // per-component uniformization matvecs.
+    std::map<ent::ServerRole, unsigned> wave;
+    for (unsigned role = 0; role < ent::kRoleCount; ++role) {
+      wave.emplace(static_cast<ent::ServerRole>(role), 5u);
+    }
+    std::vector<double> lumped_grid;
+    for (int j = 1; j <= 16; ++j) lumped_grid.push_back(24.0 * j / 16.0);
+    results.push_back(
+        run_bench("lumped_k50_transient", reps, [&rates, &k50, &wave, &lumped_grid]() -> Sample {
+          av::TransientCoaOptions options;
+          options.initial_down = wave;
+          const av::CoaCurveEvaluation eval =
+              av::transient_coa_lumped_detailed(k50, rates, lumped_grid, options);
+          Sample s;
+          s.tangible_states = eval.diagnostics.tangible_states;
+          s.ctmc_transitions = eval.diagnostics.transitions;
+          s.solver_iterations = eval.diagnostics.solver_iterations;
+          s.flat_states = eval.diagnostics.flat_states;
+          bool in_range = true;
+          for (const av::CoaPoint& p : eval.curve) {
+            in_range = in_range && p.coa >= 0.0 && p.coa <= 1.0;
+          }
+          s.converged = eval.diagnostics.converged && in_range;
+          return s;
+        }));
+  }
+
   // Schedule sweep: the five paper designs under six cadences through one
   // Session (memoization + per-thread solver workspace reuse).
   results.push_back(run_bench("schedule_sweep_5x6", reps, []() -> Sample {
@@ -353,7 +431,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "run_benchmarks: cannot write %s\n", output.c_str());
     return 1;
   }
-  out << "{\n  \"schema_version\": 3,\n  \"unit\": \"seconds\",\n  \"repetitions\": " << reps
+  out << "{\n  \"schema_version\": 4,\n  \"unit\": \"seconds\",\n  \"repetitions\": " << reps
       << ",\n  \"benches\": [\n";
   out << std::setprecision(9);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -365,6 +443,7 @@ int main(int argc, char** argv) {
         << ", \"ctmc_transitions\": " << r.ctmc_transitions
         << ", \"solver_iterations\": " << r.solver_iterations
         << ", \"events_fired\": " << r.events_fired
+        << ", \"flat_states\": " << r.flat_states
         << ", \"converged\": " << (r.converged ? "true" : "false") << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }

@@ -64,6 +64,14 @@ struct EngineOptions {
   /// replaces the network-SRN steady-state solve with Monte-Carlo
   /// replications configured by `simulation`.
   EvalBackend backend = EvalBackend::kAnalytic;
+  /// Evaluate the analytic backend on the symmetry-lumped quotient: the
+  /// upper-layer network factors into independent per-tier birth-death
+  /// chains (sum-of-sizes states instead of product-of-sizes), which is
+  /// exact for this model class — steady-state and transient COA agree with
+  /// the flat solve to solver tolerance (pinned to 1e-10 by the lumping test
+  /// layer).  Off by default; ignored by the simulation backend, which
+  /// always runs the flat net.
+  bool lumping = false;
   /// Replication budget, seed and thread count of the simulation backend
   /// (ignored by kAnalytic).  Under `parallel` batch evaluation the
   /// per-evaluation replication fan-out is forced serial so the two thread

@@ -123,7 +123,9 @@ void write_json(std::ostream& out, const std::vector<EvalReport>& reports) {
     out << "{\"states\":" << d.tangible_states << ",\"vanishing\":" << d.vanishing_markings
         << ",\"transitions\":" << d.transitions << ",\"iterations\":" << d.solver_iterations
         << ",\"residual\":" << d.residual << ",\"converged\":" << (d.converged ? "true" : "false")
-        << ",\"wall_s\":" << d.wall_time_seconds << "}";
+        << ",\"wall_s\":" << d.wall_time_seconds;
+    if (d.flat_states != 0) out << ",\"flat_states\":" << d.flat_states;
+    out << "}";
   };
   out << "[";
   for (std::size_t i = 0; i < reports.size(); ++i) {

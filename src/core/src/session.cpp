@@ -1,5 +1,6 @@
 #include "patchsec/core/session.hpp"
 
+#include "patchsec/avail/lumped_coa.hpp"
 #include "patchsec/avail/transient_coa.hpp"
 
 #include <atomic>
@@ -275,6 +276,14 @@ EvalReport Session::evaluate(const enterprise::RedundancyDesign& design,
     report.coa = est.mean;
     report.coa_half_width_95 = est.half_width_95;
     report.simulation_diagnostics = est.diagnostics;
+  } else if (scenario_.engine().lumping) {
+    // Product form over the per-tier chains; no workspace — the tier chains
+    // are tiny and structurally distinct, so a shared solver would thrash
+    // its cached structure instead of helping.
+    const avail::CoaEvaluation coa = avail::capacity_oriented_availability_lumped_detailed(
+        design, agg.rates, scenario_.engine().analyzer_options());
+    report.coa = coa.coa;
+    report.availability_diagnostics = coa.diagnostics;
   } else {
     const avail::CoaEvaluation coa = avail::capacity_oriented_availability_detailed(
         design, agg.rates, scenario_.engine().analyzer_options(), &availability_workspace());
@@ -328,7 +337,10 @@ EvalReport Session::evaluate_transient(const enterprise::RedundancyDesign& desig
     options.uniformization = engine.uniformization;
     options.reachability = engine.reachability;
     const avail::CoaCurveEvaluation eval =
-        avail::transient_coa_detailed(design, agg.rates, grid, options, &transient_workspace());
+        engine.lumping
+            ? avail::transient_coa_lumped_detailed(design, agg.rates, grid, options)
+            : avail::transient_coa_detailed(design, agg.rates, grid, options,
+                                            &transient_workspace());
     report.transient.coa.reserve(eval.curve.size());
     for (const avail::CoaPoint& point : eval.curve) report.transient.coa.push_back(point.coa);
     report.transient.accumulated_coa_hours = eval.accumulated_coa_hours;

@@ -57,6 +57,10 @@ struct SolveDiagnostics {
   double residual = 0.0;                ///< max-norm of pi*Q at the iterate.
   bool converged = false;               ///< false when max_iterations elapsed.
   double wall_time_seconds = 0.0;       ///< graph build + solve.
+  /// Size the flat (unlumped) state space would have had, when the analysis
+  /// ran on a symmetry-lumped quotient; 0 for ordinary flat analyses.  The
+  /// lumped/flat ratio is the headline speedup of the lumping pass.
+  std::size_t flat_states = 0;
 
   /// The distribution is not usable even as a best-effort estimate: the
   /// iteration hit its budget with a residual that is not merely round-off.

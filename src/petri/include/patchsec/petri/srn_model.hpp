@@ -99,6 +99,13 @@ class SrnModel {
   /// immediates).  Callers doing their own evaluation must apply the same
   /// positivity/finiteness validation rate() performs.
   [[nodiscard]] const RateFunction& rate_function(TransitionId t) const;
+  /// The constant rate of a timed transition built via the `double` overload
+  /// of add_timed_transition, or std::nullopt when the rate is a general
+  /// marking-dependent function.  Structural passes (symmetry lumping) need
+  /// this because std::function is opaque: a replica transition can only be
+  /// folded into a count-weighted class rate when its local rate is provably
+  /// marking-independent.  Throws std::logic_error for immediates.
+  [[nodiscard]] std::optional<double> constant_rate(TransitionId t) const;
 
   [[nodiscard]] Marking initial_marking() const;
 
@@ -152,7 +159,8 @@ class SrnModel {
   struct Transition {
     std::string name;
     TransitionKind kind = TransitionKind::kTimed;
-    RateFunction rate;      // timed only
+    RateFunction rate;                  // timed only
+    std::optional<double> fixed_rate;   // timed only; set by the constant-rate overload
     double weight = 1.0;    // immediate only
     unsigned priority = 1;  // immediate only
     std::vector<Arc> inputs;

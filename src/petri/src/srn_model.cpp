@@ -19,7 +19,10 @@ TransitionId SrnModel::add_timed_transition(std::string name, double rate) {
   if (!(rate > 0.0) || !std::isfinite(rate)) {
     throw std::invalid_argument("add_timed_transition: rate must be positive: " + name);
   }
-  return add_timed_transition(std::move(name), [rate](const Marking&) { return rate; });
+  const TransitionId t =
+      add_timed_transition(std::move(name), [rate](const Marking&) { return rate; });
+  transitions_[t].fixed_rate = rate;
+  return t;
 }
 
 TransitionId SrnModel::add_timed_transition(std::string name, RateFunction rate) {
@@ -124,6 +127,15 @@ const RateFunction& SrnModel::rate_function(TransitionId t) const {
                            transitions_[t].name);
   }
   return transitions_[t].rate;
+}
+
+std::optional<double> SrnModel::constant_rate(TransitionId t) const {
+  check_transition(t);
+  if (transitions_[t].kind != TransitionKind::kTimed) {
+    throw std::logic_error("constant_rate() called on immediate transition " +
+                           transitions_[t].name);
+  }
+  return transitions_[t].fixed_rate;
 }
 
 Marking SrnModel::initial_marking() const {

@@ -34,6 +34,14 @@ enum class DifferentialMode : std::uint8_t {
   /// the grid (per-point 95% intervals would miss ~23% of correct curves on
   /// a 5-point grid).
   kTransient,
+  /// Three-way steady-state check adding the symmetry-lumped analytic engine
+  /// (core::EngineOptions::lumping) as a third axis: every scenario is scored
+  /// flat-analytic, lumped-analytic AND simulated.  A case passes only when
+  /// the lumped COA (a) matches the flat COA to `lumped_tolerance` — the
+  /// lumping is exact, so any gap beyond solver tolerance is a bug, not
+  /// statistics — and (b) falls inside the simulation's CI like the flat
+  /// value must.
+  kLumped,
 };
 
 [[nodiscard]] const char* to_string(DifferentialMode mode) noexcept;
@@ -47,6 +55,11 @@ struct DifferentialOptions {
   /// time scale of the patch dip: sub-hour, the MTTR knee, and the settled
   /// tail.
   std::vector<double> transient_grid = {0.5, 2.0, 6.0, 12.0, 24.0};
+  /// Flat-vs-lumped agreement bound of the kLumped mode.  Deterministic (no
+  /// CI): both engines solve the same model exactly, differing only by
+  /// iterative-solver tolerance, so the default leaves two orders of
+  /// headroom over the 1e-12 solver target.
+  double lumped_tolerance = 1e-9;
   GeneratorOptions generator;      ///< scenario stream configuration.
   /// Replication budget of the simulation oracle.  The per-case seed is
   /// derived from the scenario seed (this field's `seed` is ignored) so the
@@ -77,6 +90,11 @@ struct DifferentialCase {
   std::size_t points_outside = 0;   ///< grid points where the band check failed.
   double worst_point_hours = 0.0;   ///< grid point of the largest deviation.
   double worst_deviation = 0.0;     ///< |analytic - simulated| there.
+
+  // --- lumped mode only -----------------------------------------------------
+  double lumped_coa = 0.0;            ///< the symmetry-lumped engine's COA.
+  double flat_lumped_deviation = 0.0; ///< |analytic_coa - lumped_coa|.
+  bool lumped_matches_flat = true;    ///< deviation within lumped_tolerance.
 };
 
 struct DifferentialReport {

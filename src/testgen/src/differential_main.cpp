@@ -2,7 +2,7 @@
 //
 //   differential_runner [--scenarios N] [--seed S] [--z Z]
 //                       [--allowed-misses M] [--threads T] [--quick]
-//                       [--transient] [--replications N]
+//                       [--transient] [--lumped] [--replications N]
 //                       [--repro SCENARIO_SEED] [--output PATH]
 //
 //   --quick        reduced replication budget (CI smoke: fewer/shorter
@@ -13,7 +13,12 @@
 //                  estimator's CI band at every grid point.  Transient
 //                  replications are cheap (one 24 h trajectory each), so the
 //                  default budget is 512 (see --replications).
-//   --replications explicit replication budget for either mode.
+//   --lumped       three-way steady-state check: every scenario is scored
+//                  flat-analytic, lumped-analytic (EngineOptions::lumping)
+//                  and simulated.  A case passes only when the lumped COA
+//                  matches the flat COA to solver tolerance AND both land in
+//                  the simulation CI.
+//   --replications explicit replication budget for any mode.
 //   --repro        replay ONE scenario from the seed a previous run logged,
 //                  print its verdict and exit (0 = inside CI).
 //
@@ -30,7 +35,15 @@
 
 namespace {
 
-void print_case(const patchsec::testgen::DifferentialCase& c) {
+void print_case(const patchsec::testgen::DifferentialCase& c,
+                patchsec::testgen::DifferentialMode mode) {
+  if (mode == patchsec::testgen::DifferentialMode::kLumped) {
+    std::printf("%s seed=%llu %-45s flat=%.9f lumped=%.9f (dev %.2e) sim=%.9f +/-%.9f\n",
+                c.inside_ci ? "PASS" : "MISS", static_cast<unsigned long long>(c.scenario_seed),
+                c.label.c_str(), c.analytic_coa, c.lumped_coa, c.flat_lumped_deviation,
+                c.simulated_coa, c.half_width_95);
+    return;
+  }
   std::printf("%s seed=%llu %-45s analytic=%.9f sim=%.9f +/-%.9f\n",
               c.inside_ci ? "PASS" : "MISS", static_cast<unsigned long long>(c.scenario_seed),
               c.label.c_str(), c.analytic_coa, c.simulated_coa, c.half_width_95);
@@ -71,6 +84,8 @@ int main(int argc, char** argv) {
       replications_set = true;
     } else if (std::strcmp(argv[i], "--transient") == 0) {
       options.mode = patchsec::testgen::DifferentialMode::kTransient;
+    } else if (std::strcmp(argv[i], "--lumped") == 0) {
+      options.mode = patchsec::testgen::DifferentialMode::kLumped;
     } else if (std::strcmp(argv[i], "--replications") == 0) {
       options.simulation.replications = std::strtoull(next_arg("--replications"), nullptr, 10);
       replications_set = true;
@@ -82,8 +97,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scenarios N] [--seed S] [--z Z] [--allowed-misses M]\n"
-                   "          [--threads T] [--quick] [--transient] [--replications N]\n"
-                   "          [--repro SCENARIO_SEED] [--output PATH]\n",
+                   "          [--threads T] [--quick] [--transient] [--lumped]\n"
+                   "          [--replications N] [--repro SCENARIO_SEED] [--output PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -97,13 +112,13 @@ int main(int argc, char** argv) {
 
   if (repro) {
     const auto c = patchsec::testgen::DifferentialRunner::run_one(repro_seed, options);
-    print_case(c);
+    print_case(c, options.mode);
     return c.inside_ci ? 0 : 1;
   }
 
   const patchsec::testgen::DifferentialRunner runner(options);
   const patchsec::testgen::DifferentialReport report = runner.run();
-  for (const auto& c : report.cases) print_case(c);
+  for (const auto& c : report.cases) print_case(c, report.mode);
   std::printf("differential[%s]: %zu/%zu inside the %.2f-sigma CI (%zu misses, budget %zu)\n",
               patchsec::testgen::to_string(report.mode), report.cases.size() - report.misses,
               report.cases.size(), report.z, report.misses, options.allowed_misses);

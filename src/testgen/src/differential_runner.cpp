@@ -143,6 +143,28 @@ DifferentialCase run_case(const GeneratedScenario& generated, const Differential
   result.simulated_coa = sim_report.coa;
   result.half_width_95 = sim_report.coa_half_width_95;
 
+  // Third axis (kLumped): the same scenario through the symmetry-lumped
+  // analytic engine.  The lumping is exact, so this is a deterministic check
+  // against the flat solve PLUS the usual statistical check against the
+  // simulation oracle — a lumping bug shows up in the former even when the
+  // CI is wide enough to hide it.
+  if (options.mode == DifferentialMode::kLumped) {
+    core::EngineOptions lumped_engine = analytic_engine;
+    lumped_engine.lumping = true;
+    core::Scenario lumped = generated.scenario;
+    lumped.with_engine(lumped_engine);
+    const core::Session lumped_session(std::move(lumped));
+    const core::EvalReport lumped_report = lumped_session.evaluate(generated.design);
+    result.lumped_coa = lumped_report.coa;
+    result.flat_lumped_deviation = std::abs(result.analytic_coa - result.lumped_coa);
+    result.lumped_matches_flat = result.flat_lumped_deviation <= options.lumped_tolerance;
+    result.analytic_converged = result.analytic_converged && lumped_report.converged();
+    result.inside_ci = sim_report.agrees_with(analytic_report, options.z) &&
+                       sim_report.agrees_with(lumped_report, options.z) &&
+                       result.lumped_matches_flat;
+    return result;
+  }
+
   result.inside_ci = sim_report.agrees_with(analytic_report, options.z);
   return result;
 }
@@ -155,6 +177,8 @@ const char* to_string(DifferentialMode mode) noexcept {
       return "steady_state";
     case DifferentialMode::kTransient:
       return "transient";
+    case DifferentialMode::kLumped:
+      return "lumped";
   }
   return "unknown";
 }
@@ -168,6 +192,9 @@ DifferentialRunner::DifferentialRunner(DifferentialOptions options)
     throw std::invalid_argument("DifferentialRunner: z must be positive");
   }
   options_.simulation.validate();
+  if (options_.mode == DifferentialMode::kLumped && !(options_.lumped_tolerance > 0.0)) {
+    throw std::invalid_argument("DifferentialRunner: lumped_tolerance must be positive");
+  }
   if (options_.mode == DifferentialMode::kTransient) {
     if (options_.transient_grid.empty()) {
       throw std::invalid_argument("DifferentialRunner: transient mode needs a time grid");
@@ -202,11 +229,12 @@ DifferentialCase DifferentialRunner::run_one(std::uint64_t scenario_seed,
 }
 
 std::string DifferentialReport::to_json() const {
-  // Schema v2 adds "mode" and, in transient mode, the per-case band columns;
-  // v1 consumers of steady-state reports can ignore the new key.
+  // Schema v2 added "mode" and the transient band columns; v3 adds the
+  // lumped-mode three-way columns.  Consumers of older reports can ignore
+  // keys they do not know.
   std::ostringstream out;
   out << std::setprecision(12);
-  out << "{\n  \"schema_version\": 2,\n  \"mode\": \"" << to_string(mode)
+  out << "{\n  \"schema_version\": 3,\n  \"mode\": \"" << to_string(mode)
       << "\",\n  \"z\": " << z << ",\n  \"scenarios\": " << cases.size()
       << ",\n  \"misses\": " << misses << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -222,6 +250,11 @@ std::string DifferentialReport::to_json() const {
           << ", \"points_outside\": " << c.points_outside
           << ", \"worst_point_hours\": " << c.worst_point_hours
           << ", \"worst_deviation\": " << c.worst_deviation;
+    }
+    if (mode == DifferentialMode::kLumped) {
+      out << ", \"lumped_coa\": " << c.lumped_coa
+          << ", \"flat_lumped_deviation\": " << c.flat_lumped_deviation
+          << ", \"lumped_matches_flat\": " << (c.lumped_matches_flat ? "true" : "false");
     }
     out << ", \"inside_ci\": " << (c.inside_ci ? "true" : "false")
         << ", \"analytic_converged\": " << (c.analytic_converged ? "true" : "false") << "}"

@@ -1,0 +1,112 @@
+// Guards the committed benchmark snapshot: BENCH_RESULTS.json is regenerated
+// by hand (bench/README.md documents the workflow) and nothing else would
+// notice a stale or truncated commit.  This suite asserts the snapshot at the
+// repo root parses, carries the current schema version, and contains every
+// benchmark id the schema requires — in particular the lumped_* rows whose
+// flat-vs-lumped state counts are the PR-facing evidence of the symmetry
+// lumping speedup.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr int kSchemaVersion = 4;
+
+std::string snapshot_text() {
+  const std::string path = std::string(PATCHSEC_SOURCE_DIR) + "/BENCH_RESULTS.json";
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "missing committed snapshot: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Value of a top-level `"key": <integer>` field; -1 when absent.
+long field_value(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::stol(text.substr(at + needle.size()));
+}
+
+/// The row object (up to the closing brace) of one benchmark id; empty when
+/// the id is not present in the snapshot.
+std::string bench_row(const std::string& text, const std::string& name) {
+  const std::string needle = "\"name\": \"" + name + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return {};
+  const std::size_t end = text.find('}', at);
+  return text.substr(at, end == std::string::npos ? std::string::npos : end - at);
+}
+
+/// Every id run_benchmarks emits, in emission order.  Extending the runner
+/// without extending this list (and regenerating the snapshot) fails here.
+const std::vector<std::string>& required_benchmarks() {
+  static const std::vector<std::string> ids = {
+      "evaluate_uniform_k2",
+      "evaluate_uniform_k4",
+      "evaluate_uniform_k6",
+      "reachability_network_k6",
+      "steady_state_k6_cold",
+      "steady_state_k6_warm",
+      "server_srn_aggregation",
+      "sim_replications_serial",
+      "sim_replications_threaded8",
+      "transient_curve_k6_cold",
+      "transient_curve_k6_warm",
+      "transient_session_paper",
+      "sim_transient_curve_threaded8",
+      "lumped_k6_evaluate",
+      "lumped_k50_evaluate",
+      "lumped_k50_transient",
+      "schedule_sweep_5x6",
+  };
+  return ids;
+}
+
+}  // namespace
+
+TEST(BenchResults, CommittedSnapshotMatchesSchema) {
+  const std::string text = snapshot_text();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(field_value(text, "schema_version"), kSchemaVersion);
+  EXPECT_GT(field_value(text, "repetitions"), 0);
+  EXPECT_NE(text.find("\"unit\": \"seconds\""), std::string::npos);
+
+  for (const std::string& id : required_benchmarks()) {
+    EXPECT_FALSE(bench_row(text, id).empty()) << "snapshot is missing benchmark: " << id
+                                              << " — regenerate BENCH_RESULTS.json "
+                                                 "(see bench/README.md)";
+  }
+}
+
+TEST(BenchResults, EveryRowConvergedWithPositiveTimings) {
+  const std::string text = snapshot_text();
+  for (const std::string& id : required_benchmarks()) {
+    const std::string row = bench_row(text, id);
+    if (row.empty()) continue;  // reported by the schema test above
+    EXPECT_NE(row.find("\"converged\": true"), std::string::npos) << id;
+    EXPECT_EQ(row.find("\"wall_seconds_best\": 0,"), std::string::npos) << id;
+    EXPECT_NE(row.find("\"wall_seconds_best\": "), std::string::npos) << id;
+  }
+}
+
+TEST(BenchResults, LumpedRowsRecordTheStateReduction) {
+  const std::string text = snapshot_text();
+  for (const std::string& id : {"lumped_k50_evaluate", "lumped_k50_transient"}) {
+    const std::string row = bench_row(text, id);
+    ASSERT_FALSE(row.empty()) << id;
+    const long states = field_value(row, "tangible_states");
+    const long flat = field_value(row, "flat_states");
+    ASSERT_GT(states, 0) << id;
+    ASSERT_GT(flat, 0) << id;
+    EXPECT_EQ(states, 204) << id;            // 4 tiers x 51 counting states
+    EXPECT_EQ(flat, 6765201) << id;          // 51^4 joint states avoided
+    EXPECT_GE(flat / states, 100) << id;     // the ISSUE acceptance ratio
+  }
+}

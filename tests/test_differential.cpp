@@ -172,7 +172,7 @@ TEST(TransientDifferential, JsonCarriesModeAndBandColumns) {
   options.simulation.replications = 32;
   const tg::DifferentialReport report = tg::DifferentialRunner(options).run();
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"mode\": \"transient\""), std::string::npos);
   EXPECT_NE(json.find("\"grid_points\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"worst_deviation\""), std::string::npos);
@@ -185,4 +185,72 @@ TEST(TransientDifferential, JsonCarriesModeAndBandColumns) {
   const std::string steady_json = tg::DifferentialRunner(steady).run().to_json();
   EXPECT_NE(steady_json.find("\"mode\": \"steady_state\""), std::string::npos);
   EXPECT_EQ(steady_json.find("\"grid_points\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Three-way (flat / lumped / simulated) mode
+// ---------------------------------------------------------------------------
+
+TEST(LumpedDifferential, FiftyScenariosThreeWayAgree) {
+  tg::DifferentialOptions options;
+  options.mode = tg::DifferentialMode::kLumped;
+  ASSERT_GE(options.scenarios, 50u);
+
+  const tg::DifferentialReport report = tg::DifferentialRunner(options).run();
+  ASSERT_EQ(report.cases.size(), options.scenarios);
+  ASSERT_EQ(report.mode, tg::DifferentialMode::kLumped);
+
+  // The flat-vs-lumped half of the verdict is deterministic and exact: NO
+  // miss budget applies to it, only to the statistical sim comparison.
+  std::string lumping_bugs;
+  for (const auto& c : report.cases) {
+    EXPECT_TRUE(c.analytic_converged) << c.label << " seed=" << c.scenario_seed;
+    if (!c.lumped_matches_flat) {
+      lumping_bugs += "  seed=" + std::to_string(c.scenario_seed) + " " + c.label +
+                      " deviation=" + std::to_string(c.flat_lumped_deviation) + "\n";
+    }
+  }
+  EXPECT_TRUE(lumping_bugs.empty())
+      << "lumped COA diverged from the flat COA (exactness violation, not "
+         "statistics):\n"
+      << lumping_bugs;
+  EXPECT_TRUE(report.passed(options.allowed_misses))
+      << report.misses << " misses exceed the statistical budget of " << options.allowed_misses;
+}
+
+TEST(LumpedDifferential, JsonCarriesThreeWayColumns) {
+  tg::DifferentialOptions options;
+  options.mode = tg::DifferentialMode::kLumped;
+  options.scenarios = 3;
+  options.simulation.replications = 8;
+  options.simulation.warmup_hours = 500.0;
+  options.simulation.horizon_hours = 4000.0;
+
+  const tg::DifferentialReport report = tg::DifferentialRunner(options).run();
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"lumped\""), std::string::npos);
+  EXPECT_NE(json.find("\"lumped_coa\""), std::string::npos);
+  EXPECT_NE(json.find("\"flat_lumped_deviation\""), std::string::npos);
+  EXPECT_NE(json.find("\"lumped_matches_flat\""), std::string::npos);
+}
+
+TEST(LumpedDifferential, RunOneReproducesACaseFromItsSeed) {
+  tg::DifferentialOptions options;
+  options.mode = tg::DifferentialMode::kLumped;
+  options.scenarios = 2;
+  options.simulation.replications = 8;
+  options.simulation.warmup_hours = 500.0;
+  options.simulation.horizon_hours = 4000.0;
+
+  const tg::DifferentialReport report = tg::DifferentialRunner(options).run();
+  ASSERT_FALSE(report.cases.empty());
+  const tg::DifferentialCase& original = report.cases.front();
+  const tg::DifferentialCase replay =
+      tg::DifferentialRunner::run_one(original.scenario_seed, options);
+  EXPECT_EQ(replay.label, original.label);
+  EXPECT_DOUBLE_EQ(replay.analytic_coa, original.analytic_coa);
+  EXPECT_DOUBLE_EQ(replay.lumped_coa, original.lumped_coa);
+  EXPECT_DOUBLE_EQ(replay.simulated_coa, original.simulated_coa);
+  EXPECT_EQ(replay.inside_ci, original.inside_ci);
 }

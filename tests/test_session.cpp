@@ -555,3 +555,67 @@ TEST(SessionMemoizationAudit, TransientAndSteadyShareOnlyTheAggregationCache) {
   EXPECT_GT(a.transient_diagnostics.matvec_count, 0u);
   EXPECT_EQ(s.transient_diagnostics.matvec_count, 0u);
 }
+
+TEST(SessionMemoizationAudit, LumpedAndFlatSessionsStayEngineTrue) {
+  // EngineOptions::lumping participates in per-session state the same way
+  // the backend does: interleaved lumped and flat sessions must each report
+  // their own engine's diagnostics (the quotient's tangible/flat_states
+  // split vs the ordinary flat solve) while sharing only the
+  // backend-independent lower-layer aggregation — and their COAs must agree
+  // to solver tolerance, because the lumping is exact.
+  core::EngineOptions lumped_engine;
+  lumped_engine.lumping = true;
+
+  const core::Session flat(core::Scenario::paper_case_study());
+  const core::Session lumped(core::Scenario::paper_case_study().with_engine(lumped_engine));
+
+  const core::EvalReport l1 = lumped.evaluate(ent::example_network_design());
+  const core::EvalReport f1 = flat.evaluate(ent::example_network_design());
+  const core::EvalReport l2 = lumped.evaluate(ent::example_network_design());
+  const core::EvalReport f2 = flat.evaluate(ent::example_network_design());
+
+  // Flat reports: the joint 36-state chain, no avoided-space annotation.
+  EXPECT_EQ(f1.availability_diagnostics.tangible_states, 36u);
+  EXPECT_EQ(f1.availability_diagnostics.flat_states, 0u);
+  EXPECT_DOUBLE_EQ(f1.coa, f2.coa);
+
+  // Lumped reports: per-tier chains (2+3+3+2 = 10 states) with the avoided
+  // joint space recorded — the signature a shared cache would destroy.
+  EXPECT_EQ(l1.availability_diagnostics.tangible_states, 10u);
+  EXPECT_EQ(l1.availability_diagnostics.flat_states, 36u);
+  EXPECT_DOUBLE_EQ(l1.coa, l2.coa);
+  EXPECT_TRUE(l1.converged());
+
+  // Exactness: same COA to solver tolerance, through genuinely different
+  // solves (different state counts prove no result sharing happened).
+  EXPECT_NEAR(l1.coa, f1.coa, 1e-9);
+
+  // The lower layer IS shared: identical Table V rates from both caches.
+  const auto& flat_rates = flat.aggregated_rates();
+  for (const auto& [role, agg] : lumped.aggregated_rates()) {
+    EXPECT_DOUBLE_EQ(agg.lambda_eq, flat_rates.at(role).lambda_eq);
+    EXPECT_DOUBLE_EQ(agg.mu_eq, flat_rates.at(role).mu_eq);
+  }
+}
+
+TEST(SessionMemoizationAudit, LumpedTransientMatchesFlatTransient) {
+  core::EngineOptions flat_engine;
+  flat_engine.time_points = {0.5, 2.0, 12.0, 24.0};
+  flat_engine.initial_down = {{ent::ServerRole::kWeb, 1}, {ent::ServerRole::kApp, 1}};
+  core::EngineOptions lumped_engine = flat_engine;
+  lumped_engine.lumping = true;
+
+  const core::Session flat(core::Scenario::paper_case_study().with_engine(flat_engine));
+  const core::Session lumped(core::Scenario::paper_case_study().with_engine(lumped_engine));
+  const core::EvalReport f = flat.evaluate_transient(ent::example_network_design());
+  const core::EvalReport l = lumped.evaluate_transient(ent::example_network_design());
+
+  ASSERT_EQ(f.transient.coa.size(), l.transient.coa.size());
+  for (std::size_t j = 0; j < f.transient.coa.size(); ++j) {
+    EXPECT_NEAR(f.transient.coa[j], l.transient.coa[j], 1e-9) << "point " << j;
+  }
+  EXPECT_NEAR(f.transient.accumulated_coa_hours, l.transient.accumulated_coa_hours, 1e-8);
+  EXPECT_EQ(l.availability_diagnostics.flat_states, 36u);
+  EXPECT_EQ(f.availability_diagnostics.flat_states, 0u);
+  EXPECT_GT(l.transient_diagnostics.matvec_count, 0u);
+}
