@@ -1,0 +1,95 @@
+// srn_lint: static verification of the SRNs behind a scenario WITHOUT
+// solving anything — P/T-invariant certificates, structural boundedness,
+// token conservation, ergodicity pre-checks and the lint rule catalog
+// (docs/ARCHITECTURE.md §11), at incidence-matrix cost.
+//
+// Usage:
+//   srn_lint                  lint the paper case study (every server net at
+//                             the monthly cadence + the network net of every
+//                             candidate design)
+//   srn_lint --seed <seed>    lint one generated scenario (the seed a
+//                             differential case logs), reproducing its nets
+//                             exactly
+//
+// Exit status: 0 when every net is clean, 1 when any finding was reported,
+// 2 on usage errors.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "patchsec/avail/network_srn.hpp"
+#include "patchsec/avail/server_srn.hpp"
+#include "patchsec/core/session.hpp"
+#include "patchsec/petri/verify.hpp"
+#include "patchsec/testgen/scenario_generator.hpp"
+
+namespace {
+
+using namespace patchsec;
+
+int report_stages(const std::vector<core::StageVerification>& stages) {
+  int findings = 0;
+  for (const core::StageVerification& stage : stages) {
+    std::printf("%s\n%s", stage.stage.c_str(), petri::format(stage.report).c_str());
+    findings += static_cast<int>(stage.report.findings.size());
+  }
+  return findings;
+}
+
+int lint_paper_case_study() {
+  const core::Scenario scenario = core::Scenario::paper_case_study();
+  const core::Session session(scenario);
+  int findings = 0;
+
+  // Lower layer: one server SRN per role at the scenario's first cadence.
+  avail::ServerSrnOptions srn_options;
+  srn_options.patch_interval_hours = scenario.patch_interval_hours();
+  for (const auto& [role, spec] : scenario.specs()) {
+    const petri::VerifyReport report =
+        petri::verify_model(avail::build_server_srn(spec, srn_options).model);
+    std::printf("server:%s\n%s", enterprise::to_string(role), petri::format(report).c_str());
+    findings += static_cast<int>(report.findings.size());
+  }
+
+  // Upper layer: the network SRN of every candidate design, with the COA
+  // reward wired in so the V-REWARD rules see what the solver will evaluate.
+  const auto& rates = session.aggregated_rates();
+  for (const enterprise::RedundancyDesign& design : scenario.designs()) {
+    const avail::NetworkSrn net = avail::build_network_srn(design, rates);
+    std::vector<std::pair<std::string, petri::RewardFunction>> rewards;
+    rewards.emplace_back("coa", net.coa_reward());
+    const petri::VerifyReport report = petri::verify_model(net.model, rewards);
+    std::printf("network:%s\n%s", design.name().c_str(), petri::format(report).c_str());
+    findings += static_cast<int>(report.findings.size());
+  }
+  return findings;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) {
+    std::printf("srn_lint: paper case study\n");
+    return lint_paper_case_study() == 0 ? 0 : 1;
+  }
+  if (argc == 3 && std::strcmp(argv[1], "--seed") == 0) {
+    char* end = nullptr;
+    const std::uint64_t seed = std::strtoull(argv[2], &end, 10);
+    if (end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "srn_lint: bad seed '%s'\n", argv[2]);
+      return 2;
+    }
+    testgen::GeneratorOptions options;
+    options.lint_generated = false;  // we ARE the lint; report, don't throw
+    const testgen::GeneratedScenario generated =
+        testgen::ScenarioGenerator::from_seed(seed, options);
+    std::printf("srn_lint: generated scenario %s\n", generated.label.c_str());
+    return report_stages(testgen::lint_scenario(generated)) == 0 ? 0 : 1;
+  }
+  std::fprintf(stderr, "usage: srn_lint [--seed <scenario_seed>]\n");
+  return 2;
+}

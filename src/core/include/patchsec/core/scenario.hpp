@@ -21,9 +21,24 @@
 #include "patchsec/enterprise/network.hpp"
 #include "patchsec/linalg/steady_state.hpp"
 #include "patchsec/petri/reachability.hpp"
+#include "patchsec/petri/verify.hpp"
 #include "patchsec/sim/srn_simulator.hpp"
 
 namespace patchsec::core {
+
+/// \brief How much the static model verifier (petri::verify) is allowed to
+/// interfere with an evaluation.
+enum class VerifyMode : std::uint8_t {
+  /// Skip verification entirely (no reports in EvalReport diagnostics).
+  kOff,
+  /// Run the pass on every lower- and upper-layer net before solving and
+  /// surface all findings through EvalReport::verification / JSON
+  /// diagnostics, but never refuse to solve.  The default.
+  kWarn,
+  /// As kWarn, but any error-severity finding aborts the evaluation with
+  /// std::runtime_error (petri::throw_on_verify_errors) before reachability.
+  kStrict,
+};
 
 /// \brief How a Session turns the upper-layer (network) SRN into the
 /// capacity-oriented availability of an EvalReport.
@@ -96,6 +111,15 @@ struct EngineOptions {
   std::map<enterprise::ServerRole, unsigned> initial_down;
   /// Truncation policy of the analytic transient engine (uniformization).
   ctmc::TransientOptions uniformization;
+
+  /// Static model verification (petri::verify): runs on every lower-layer
+  /// server net and the upper-layer network net before reachability, at
+  /// incidence-matrix cost.  kWarn (default) surfaces findings in
+  /// EvalReport::verification; kStrict additionally refuses to solve a net
+  /// with error-severity findings; kOff skips the pass.
+  VerifyMode verify = VerifyMode::kWarn;
+  /// Knobs of the verification pass (semiflow row cap, function probing).
+  petri::VerifyOptions verify_options;
 
   /// The grid evaluate_transient runs on: `time_points` when set, otherwise
   /// the uniform grid described above.  Throws std::invalid_argument on an

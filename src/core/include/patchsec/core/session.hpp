@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <map>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -63,6 +64,14 @@ struct TransientCurve {
   }
 };
 
+/// \brief One solve stage's static verification: the stage name
+/// ("server:<role>" for a lower-layer net, "network" for the upper layer)
+/// plus the petri::verify report (certificates + lint findings).
+struct StageVerification {
+  std::string stage;
+  petri::VerifyReport report;
+};
+
 /// \brief Rich evaluation result: the paper's metrics plus end-to-end solver
 /// diagnostics for every stage that ran a steady-state solve.
 struct EvalReport {
@@ -101,6 +110,12 @@ struct EvalReport {
   /// aggregation misses).
   double wall_time_seconds = 0.0;
 
+  /// Static verification reports (EngineOptions::verify != kOff): one entry
+  /// per solved net — every lower-layer "server:<role>" stage this cadence
+  /// uses (memoized with the aggregation) plus the upper-layer "network"
+  /// stage.  Empty under VerifyMode::kOff.
+  std::vector<StageVerification> verification;
+
   /// True iff every steady-state solve behind this report converged (the
   /// upper-layer solve is exempt under kSimulation, which never runs it).
   [[nodiscard]] bool converged() const noexcept;
@@ -134,6 +149,9 @@ struct EvalReport {
                                             double z = 1.96) const noexcept;
   /// Total solver iterations across all stages (lower + upper layer).
   [[nodiscard]] std::size_t total_solver_iterations() const noexcept;
+  /// True iff every verified stage came back with zero findings.  Vacuously
+  /// true under VerifyMode::kOff (nothing was verified).
+  [[nodiscard]] bool lint_clean() const noexcept;
   /// The metric payload alone, for APIs speaking the original Evaluator
   /// vocabulary (decision bounds, economics, report emitters).
   [[nodiscard]] DesignEvaluation metrics() const;
@@ -206,6 +224,9 @@ class Session {
   struct IntervalAggregation {
     std::map<enterprise::ServerRole, avail::AggregatedRates> rates;
     std::map<enterprise::ServerRole, petri::SolveDiagnostics> diagnostics;
+    /// Static verification of each role's server net (computed once with the
+    /// aggregation; empty under VerifyMode::kOff).
+    std::vector<StageVerification> verification;
   };
   struct SecurityMetricsPair {
     harm::SecurityMetrics before_patch;

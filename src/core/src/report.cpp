@@ -147,6 +147,39 @@ void write_json(std::ostream& out, const std::vector<EvalReport>& reports) {
       stage_json(d);
     }
     out << "}}";
+    if (!r.verification.empty()) {
+      const auto escaped = [](const std::string& s) {
+        std::string out_s;
+        out_s.reserve(s.size());
+        for (char c : s) {
+          if (c == '"' || c == '\\') out_s.push_back('\\');
+          out_s.push_back(c);
+        }
+        return out_s;
+      };
+      out << ",\"verify\":{\"clean\":" << (r.lint_clean() ? "true" : "false") << ",\"stages\":[";
+      for (std::size_t s = 0; s < r.verification.size(); ++s) {
+        const StageVerification& stage = r.verification[s];
+        const petri::VerifyCertificates& c = stage.report.certificates;
+        if (s != 0) out << ",";
+        out << "{\"stage\":\"" << escaped(stage.stage)
+            << "\",\"p_semiflows\":" << c.p_semiflows.size()
+            << ",\"t_semiflows\":" << c.t_semiflows.size()
+            << ",\"bounded\":" << (c.structurally_bounded ? "true" : "false")
+            << ",\"conserving\":" << (c.token_conserving ? "true" : "false")
+            << ",\"findings\":[";
+        for (std::size_t f = 0; f < stage.report.findings.size(); ++f) {
+          const petri::VerifyFinding& finding = stage.report.findings[f];
+          if (f != 0) out << ",";
+          out << "{\"rule\":\"" << escaped(finding.rule) << "\",\"severity\":\""
+              << petri::to_string(finding.severity) << "\",\"subject\":\""
+              << escaped(finding.subject) << "\",\"message\":\"" << escaped(finding.message)
+              << "\"}";
+        }
+        out << "]}";
+      }
+      out << "]}";
+    }
     if (!r.transient.empty()) {
       const auto array_json = [&out](const char* key, const std::vector<double>& values) {
         out << ",\"" << key << "\":[";

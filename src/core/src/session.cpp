@@ -1,6 +1,7 @@
 #include "patchsec/core/session.hpp"
 
 #include "patchsec/avail/lumped_coa.hpp"
+#include "patchsec/avail/server_srn.hpp"
 #include "patchsec/avail/transient_coa.hpp"
 
 #include <atomic>
@@ -52,6 +53,25 @@ linalg::StationarySolver& availability_workspace() {
 ctmc::TransientSolver& transient_workspace() {
   static thread_local ctmc::TransientSolver workspace;
   return workspace;
+}
+
+// Static verification of the upper-layer network net (petri::verify), run
+// before any solve.  The NetworkSrn build itself is a handful of places and
+// transitions — no state-space exploration — so rebuilding it here for the
+// lumped path (which never materializes the flat net) costs nothing.
+StageVerification verify_network_stage(const enterprise::RedundancyDesign& design,
+                                       const std::map<enterprise::ServerRole,
+                                                      avail::AggregatedRates>& rates,
+                                       const EngineOptions& engine) {
+  const avail::NetworkSrn net = avail::build_network_srn(design, rates);
+  std::vector<std::pair<std::string, petri::RewardFunction>> rewards;
+  rewards.emplace_back("coa", net.coa_reward());
+  StageVerification stage{"network",
+                          petri::verify_model(net.model, rewards, engine.verify_options)};
+  if (engine.verify == VerifyMode::kStrict) {
+    petri::throw_on_verify_errors(stage.report, stage.stage);
+  }
+  return stage;
 }
 
 }  // namespace
@@ -108,6 +128,13 @@ bool EvalReport::transient_agrees_with(const EvalReport& other, double z) const 
   return true;
 }
 
+bool EvalReport::lint_clean() const noexcept {
+  for (const StageVerification& stage : verification) {
+    if (!stage.report.clean()) return false;
+  }
+  return true;
+}
+
 std::size_t EvalReport::total_solver_iterations() const noexcept {
   std::size_t total = availability_diagnostics.solver_iterations;
   for (const auto& [role, d] : aggregation_diagnostics) total += d.solver_iterations;
@@ -138,7 +165,17 @@ const Session::IntervalAggregation& Session::aggregation_for(double patch_interv
   avail::ServerSrnOptions srn_options;
   srn_options.patch_interval_hours = patch_interval_hours;
   const petri::AnalyzerOptions engine = scenario_.engine().analyzer_options();
+  const VerifyMode verify = scenario_.engine().verify;
   for (const auto& [role, spec] : scenario_.specs()) {
+    if (verify != VerifyMode::kOff) {
+      // Static pre-flight on the server net (incidence-matrix cost) before
+      // the reachability-based aggregation solve touches it.
+      StageVerification stage{std::string("server:") + enterprise::to_string(role),
+                              petri::verify_model(avail::build_server_srn(spec, srn_options).model,
+                                                  scenario_.engine().verify_options)};
+      if (verify == VerifyMode::kStrict) petri::throw_on_verify_errors(stage.report, stage.stage);
+      agg.verification.push_back(std::move(stage));
+    }
     avail::ServerAggregation server =
         avail::aggregate_server_detailed(spec, srn_options, engine, &aggregation_workspace());
     agg.rates.emplace(role, server.rates);
@@ -262,6 +299,11 @@ EvalReport Session::evaluate(const enterprise::RedundancyDesign& design,
   report.after_patch = security.after_patch;
   report.backend = scenario_.engine().backend;
 
+  if (scenario_.engine().verify != VerifyMode::kOff) {
+    report.verification = agg.verification;
+    report.verification.push_back(verify_network_stage(design, agg.rates, scenario_.engine()));
+  }
+
   if (report.backend == EvalBackend::kSimulation) {
     const avail::NetworkSrn net = avail::build_network_srn(design, agg.rates);
     const sim::SrnSimulator simulator(net.model);
@@ -314,6 +356,11 @@ EvalReport Session::evaluate_transient(const enterprise::RedundancyDesign& desig
   report.after_patch = security.after_patch;
   report.backend = engine.backend;
   report.transient.time_points_hours = grid;
+
+  if (engine.verify != VerifyMode::kOff) {
+    report.verification = agg.verification;
+    report.verification.push_back(verify_network_stage(design, agg.rates, engine));
+  }
 
   if (report.backend == EvalBackend::kSimulation) {
     const avail::NetworkSrn net = avail::build_network_srn(design, agg.rates);

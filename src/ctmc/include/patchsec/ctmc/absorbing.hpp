@@ -28,4 +28,11 @@ struct AbsorbingAnalysis {
 [[nodiscard]] double mean_first_passage_time(const Ctmc& chain, StateIndex start,
                                              const std::vector<StateIndex>& targets);
 
+/// States whose strongly connected component has a transition into another
+/// component: once left they are never revisited, so their long-run
+/// probability is zero.  An ergodic chain has none; this is the dynamic half
+/// of the verifier's absorbing-trap oracle (petri::verify V-ERGO-003/-004 —
+/// a net-level trap surfaces here as a nonempty transient set).
+[[nodiscard]] std::vector<StateIndex> transient_states(const Ctmc& chain);
+
 }  // namespace patchsec::ctmc

@@ -101,4 +101,70 @@ double mean_first_passage_time(const Ctmc& chain, StateIndex start,
   return mtta[start];
 }
 
+std::vector<StateIndex> transient_states(const Ctmc& chain) {
+  const std::size_t n = chain.state_count();
+  std::vector<std::vector<StateIndex>> successors(n);
+  for (const RateTransition& t : chain.transitions()) successors[t.from].push_back(t.to);
+
+  // Iterative Tarjan SCC (explicit stack — chains can be deep).
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnvisited), lowlink(n, 0), component(n, kUnvisited);
+  std::vector<bool> on_stack(n, false);
+  std::vector<StateIndex> stack;
+  std::size_t next_index = 0, component_count = 0;
+  struct Frame {
+    StateIndex state;
+    std::size_t next_succ;
+  };
+  std::vector<Frame> call_stack;
+  for (StateIndex root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const StateIndex v = frame.state;
+      if (frame.next_succ < successors[v].size()) {
+        const StateIndex w = successors[v][frame.next_succ++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          StateIndex w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = component_count;
+          } while (w != v);
+          ++component_count;
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const StateIndex parent = call_stack.back().state;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+
+  std::vector<bool> component_leaks(component_count, false);
+  for (const RateTransition& t : chain.transitions()) {
+    if (component[t.from] != component[t.to]) component_leaks[component[t.from]] = true;
+  }
+  std::vector<StateIndex> result;
+  for (StateIndex s = 0; s < n; ++s) {
+    if (component_leaks[component[s]]) result.push_back(s);
+  }
+  return result;
+}
+
 }  // namespace patchsec::ctmc

@@ -28,4 +28,13 @@ struct StructuralReport {
 [[nodiscard]] StructuralReport analyze_structure(const SrnModel& model,
                                                  const ReachabilityOptions& options = {});
 
+/// As above over an already-built reachability graph — callers that solved
+/// the model (Session diagnostics, the verifier's dynamic-oracle tests) reuse
+/// their graph instead of paying a duplicate exploration.  `graph` must have
+/// been built from `model`; `options` only supplies `max_vanishing_depth` for
+/// the immediate-transition liveness probe.
+[[nodiscard]] StructuralReport analyze_structure(const SrnModel& model,
+                                                 const ReachabilityGraph& graph,
+                                                 const ReachabilityOptions& options = {});
+
 }  // namespace patchsec::petri

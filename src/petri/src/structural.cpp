@@ -5,8 +5,11 @@
 namespace patchsec::petri {
 
 StructuralReport analyze_structure(const SrnModel& model, const ReachabilityOptions& options) {
-  const ReachabilityGraph graph = build_reachability_graph(model, options);
+  return analyze_structure(model, build_reachability_graph(model, options), options);
+}
 
+StructuralReport analyze_structure(const SrnModel& model, const ReachabilityGraph& graph,
+                                   const ReachabilityOptions& options) {
   StructuralReport report;
   report.place_bounds.assign(model.place_count(), 0);
 

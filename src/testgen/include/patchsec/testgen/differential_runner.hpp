@@ -84,6 +84,11 @@ struct DifferentialCase {
                                 ///< (transient mode: the whole curve inside
                                 ///< the band at every grid point).
   bool analytic_converged = true;  ///< every analytic solve converged.
+  /// Every verified net behind every backend came back with zero findings
+  /// (EvalReport::lint_clean across the evaluations).  A dirty case fails
+  /// `inside_ci` regardless of the statistics — numbers from a lint-dirty
+  /// net are not evidence.
+  bool lint_clean = true;
 
   // --- transient mode only --------------------------------------------------
   std::size_t grid_points = 0;      ///< curve length (0 in steady-state mode).

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "patchsec/core/scenario.hpp"
+#include "patchsec/core/session.hpp"
 
 namespace patchsec::testgen {
 
@@ -32,6 +33,11 @@ struct GeneratorOptions {
   /// is drawn uniformly from the four below, so short campaigns may miss
   /// some shapes); the rest are fully randomized.
   double degenerate_fraction = 0.25;
+  /// Run the static verifier (petri::verify) over every net the generated
+  /// scenario induces and throw std::logic_error on ANY finding — a
+  /// generator that emits lint-dirty nets is a harness bug, not a test
+  /// input.  On by default; the verification is incidence-matrix cheap.
+  bool lint_generated = true;
 };
 
 /// The deliberately pathological corners the generator injects.
@@ -81,5 +87,14 @@ class ScenarioGenerator {
   GeneratorOptions options_;
   std::uint64_t counter_ = 0;
 };
+
+/// Static verification of every net `generated` induces: one lower-layer
+/// server net per role (built from the real perturbed spec at the scenario's
+/// cadence) plus the upper-layer network net (built with unit aggregated
+/// rates — the lint is purely structural, so no steady-state solve is paid).
+/// The generator's `lint_generated` assertion and the 50-seed sweep test both
+/// go through this function.
+[[nodiscard]] std::vector<core::StageVerification> lint_scenario(
+    const GeneratedScenario& generated);
 
 }  // namespace patchsec::testgen

@@ -86,7 +86,9 @@ DifferentialCase run_case_transient(const GeneratedScenario& generated,
   result.half_width_95 = sim_report.coa_half_width_95;
 
   const double z_point = simultaneous_z(options.z, options.transient_grid.size());
-  result.inside_ci = sim_report.transient_agrees_with(analytic_report, z_point);
+  result.lint_clean = analytic_report.lint_clean() && sim_report.lint_clean();
+  result.inside_ci =
+      sim_report.transient_agrees_with(analytic_report, z_point) && result.lint_clean;
   // Per-point deviations, for the report (the verdict above is the
   // authoritative band check).
   for (std::size_t j = 0; j < sim_report.transient.coa.size(); ++j) {
@@ -142,6 +144,7 @@ DifferentialCase run_case(const GeneratedScenario& generated, const Differential
   const core::EvalReport sim_report = sim_session.evaluate(generated.design);
   result.simulated_coa = sim_report.coa;
   result.half_width_95 = sim_report.coa_half_width_95;
+  result.lint_clean = analytic_report.lint_clean() && sim_report.lint_clean();
 
   // Third axis (kLumped): the same scenario through the symmetry-lumped
   // analytic engine.  The lumping is exact, so this is a deterministic check
@@ -159,13 +162,14 @@ DifferentialCase run_case(const GeneratedScenario& generated, const Differential
     result.flat_lumped_deviation = std::abs(result.analytic_coa - result.lumped_coa);
     result.lumped_matches_flat = result.flat_lumped_deviation <= options.lumped_tolerance;
     result.analytic_converged = result.analytic_converged && lumped_report.converged();
+    result.lint_clean = result.lint_clean && lumped_report.lint_clean();
     result.inside_ci = sim_report.agrees_with(analytic_report, options.z) &&
                        sim_report.agrees_with(lumped_report, options.z) &&
-                       result.lumped_matches_flat;
+                       result.lumped_matches_flat && result.lint_clean;
     return result;
   }
 
-  result.inside_ci = sim_report.agrees_with(analytic_report, options.z);
+  result.inside_ci = sim_report.agrees_with(analytic_report, options.z) && result.lint_clean;
   return result;
 }
 
@@ -229,12 +233,13 @@ DifferentialCase DifferentialRunner::run_one(std::uint64_t scenario_seed,
 }
 
 std::string DifferentialReport::to_json() const {
-  // Schema v2 added "mode" and the transient band columns; v3 adds the
-  // lumped-mode three-way columns.  Consumers of older reports can ignore
-  // keys they do not know.
+  // Schema v2 added "mode" and the transient band columns; v3 the
+  // lumped-mode three-way columns; v4 the per-case "lint_clean" verdict of
+  // the static model verifier.  Consumers of older reports can ignore keys
+  // they do not know.
   std::ostringstream out;
   out << std::setprecision(12);
-  out << "{\n  \"schema_version\": 3,\n  \"mode\": \"" << to_string(mode)
+  out << "{\n  \"schema_version\": 4,\n  \"mode\": \"" << to_string(mode)
       << "\",\n  \"z\": " << z << ",\n  \"scenarios\": " << cases.size()
       << ",\n  \"misses\": " << misses << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -257,7 +262,8 @@ std::string DifferentialReport::to_json() const {
           << ", \"lumped_matches_flat\": " << (c.lumped_matches_flat ? "true" : "false");
     }
     out << ", \"inside_ci\": " << (c.inside_ci ? "true" : "false")
-        << ", \"analytic_converged\": " << (c.analytic_converged ? "true" : "false") << "}"
+        << ", \"analytic_converged\": " << (c.analytic_converged ? "true" : "false")
+        << ", \"lint_clean\": " << (c.lint_clean ? "true" : "false") << "}"
         << (i + 1 < cases.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

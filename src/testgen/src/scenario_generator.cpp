@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "patchsec/avail/network_srn.hpp"
+#include "patchsec/avail/server_srn.hpp"
+#include "patchsec/petri/verify.hpp"
 #include "patchsec/sim/seed_stream.hpp"
 
 namespace patchsec::testgen {
@@ -176,7 +179,37 @@ GeneratedScenario ScenarioGenerator::from_seed(std::uint64_t scenario_seed,
                            .with_design(generated.design);
   generated.label = std::string(to_string(generated.shape)) + " " + generated.design.name() +
                     " @ " + std::to_string(interval) + "h";
+
+  if (options.lint_generated) {
+    for (const core::StageVerification& stage : lint_scenario(generated)) {
+      if (!stage.report.clean()) {
+        throw std::logic_error("ScenarioGenerator: generated net '" + stage.stage +
+                               "' (seed " + std::to_string(scenario_seed) +
+                               ") failed static verification:\n" + petri::format(stage.report));
+      }
+    }
+  }
   return generated;
+}
+
+std::vector<core::StageVerification> lint_scenario(const GeneratedScenario& generated) {
+  std::vector<core::StageVerification> stages;
+  avail::ServerSrnOptions srn_options;
+  srn_options.patch_interval_hours = generated.scenario.patch_interval_hours();
+  std::map<ent::ServerRole, avail::AggregatedRates> unit_rates;
+  for (const auto& [role, spec] : generated.scenario.specs()) {
+    stages.push_back(core::StageVerification{
+        std::string("server:") + ent::to_string(role),
+        petri::verify_model(avail::build_server_srn(spec, srn_options).model)});
+    // The network lint is structural: unit rates stand in for the aggregated
+    // Table V rates so no lower-layer steady-state solve is needed.
+    unit_rates.emplace(role, avail::AggregatedRates{1.0, 1.0, 0.5, 0.5});
+  }
+  const avail::NetworkSrn net = avail::build_network_srn(generated.design, unit_rates);
+  std::vector<std::pair<std::string, petri::RewardFunction>> rewards;
+  rewards.emplace_back("coa", net.coa_reward());
+  stages.push_back(core::StageVerification{"network", petri::verify_model(net.model, rewards)});
+  return stages;
 }
 
 }  // namespace patchsec::testgen

@@ -172,7 +172,7 @@ TEST(TransientDifferential, JsonCarriesModeAndBandColumns) {
   options.simulation.replications = 32;
   const tg::DifferentialReport report = tg::DifferentialRunner(options).run();
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"mode\": \"transient\""), std::string::npos);
   EXPECT_NE(json.find("\"grid_points\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"worst_deviation\""), std::string::npos);
@@ -228,7 +228,7 @@ TEST(LumpedDifferential, JsonCarriesThreeWayColumns) {
 
   const tg::DifferentialReport report = tg::DifferentialRunner(options).run();
   const std::string json = report.to_json();
-  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"mode\": \"lumped\""), std::string::npos);
   EXPECT_NE(json.find("\"lumped_coa\""), std::string::npos);
   EXPECT_NE(json.find("\"flat_lumped_deviation\""), std::string::npos);
