@@ -31,6 +31,7 @@
 #include "patchsec/avail/network_srn.hpp"
 #include "patchsec/core/session.hpp"
 #include "patchsec/ctmc/transient_solver.hpp"
+#include "patchsec/linalg/spmv_kernel.hpp"
 #include "patchsec/linalg/stationary_solver.hpp"
 #include "patchsec/petri/reachability.hpp"
 #include "patchsec/sim/srn_simulator.hpp"
@@ -56,6 +57,7 @@ struct BenchResult {
   std::size_t solver_iterations = 0;
   std::uint64_t events_fired = 0;    ///< simulation benches: Monte-Carlo firings
   std::size_t flat_states = 0;       ///< lumped benches: size of the avoided flat space
+  std::size_t rhs_count = 0;         ///< schema v5: panel width of a batched solve (1 = single)
   bool converged = true;
 };
 
@@ -65,13 +67,15 @@ struct Sample {
   std::size_t solver_iterations = 0;
   std::uint64_t events_fired = 0;
   std::size_t flat_states = 0;
+  std::size_t rhs_count = 0;
   bool converged = true;
 };
 
 // Run `body` `reps` times; the body returns the diagnostics of the work it
-// performed (recorded from the last repetition).
+// performed (recorded from the last repetition).  `time_divisor` scales the
+// recorded wall times (the panel rows report PER-CURVE time: total / width).
 BenchResult run_bench(const std::string& name, std::size_t reps,
-                      const std::function<Sample()>& body) {
+                      const std::function<Sample()>& body, double time_divisor = 1.0) {
   BenchResult result;
   result.name = name;
   result.repetitions = reps;
@@ -85,13 +89,14 @@ BenchResult run_bench(const std::string& name, std::size_t reps,
     total += elapsed;
     if (r == 0 || elapsed < best) best = elapsed;
   }
-  result.wall_seconds_best = best;
-  result.wall_seconds_mean = total / static_cast<double>(reps);
+  result.wall_seconds_best = best / time_divisor;
+  result.wall_seconds_mean = total / static_cast<double>(reps) / time_divisor;
   result.tangible_states = sample.tangible_states;
   result.ctmc_transitions = sample.ctmc_transitions;
   result.solver_iterations = sample.solver_iterations;
   result.events_fired = sample.events_fired;
   result.flat_states = sample.flat_states;
+  result.rhs_count = sample.rhs_count;
   result.converged = sample.converged;
   std::printf("%-32s best %10.6fs  mean %10.6fs  states %7zu  iters %6zu%s\n",
               result.name.c_str(), result.wall_seconds_best, result.wall_seconds_mean,
@@ -262,17 +267,25 @@ int main(int argc, char** argv) {
     for (int j = 1; j <= 16; ++j) grid.push_back(24.0 * j / 16.0);
     std::vector<double> values;
 
+    // The historical cold/warm rows stay pinned to the reference scalar
+    // kernel so their trajectory remains comparable across PRs; the SIMD
+    // rows below measure the same work on the dispatched kernel.
+    patchsec::ctmc::TransientOptions scalar_options;
+    scalar_options.kernel = patchsec::ctmc::TransientOptions::Kernel::kScalar;
     results.push_back(run_bench("transient_curve_k6_cold", reps, [&]() -> Sample {
       patchsec::ctmc::TransientSolver solver;
+      solver.set_options(scalar_options);
       solver.prepare(graph.chain);
       (void)solver.reward_curve(initial, rewards, grid, values);
       Sample s;
       s.tangible_states = graph.tangible_count();
       s.ctmc_transitions = graph.chain.transitions().size();
       s.solver_iterations = solver.diagnostics().matvec_count;
+      s.rhs_count = 1;
       return s;
     }));
     patchsec::ctmc::TransientSolver warm;
+    warm.set_options(scalar_options);
     warm.prepare(graph.chain);
     results.push_back(run_bench("transient_curve_k6_warm", reps, [&]() -> Sample {
       const std::size_t matvecs_before = warm.diagnostics().matvec_count;
@@ -283,8 +296,97 @@ int main(int argc, char** argv) {
       s.solver_iterations = warm.diagnostics().matvec_count - matvecs_before;
       // The reuse contract: one structure build no matter how many curves.
       s.converged = warm.structure_builds() == 1;
+      s.rhs_count = 1;
       return s;
     }));
+    const double scalar_warm_best = results.back().wall_seconds_best;
+
+    // Schema v5 rows — the SIMD kernel layer.  transient_curve_k6_simd is
+    // the warm row's exact work on the SIMD+panel path: the same curve
+    // ridden on an 8-wide panel (8 replicated initial conditions, one
+    // matrix sweep per expansion term for all 8), with wall_seconds
+    // reported PER CURVE (total / 8) so the row is directly comparable to
+    // the scalar warm row.  `converged` asserts scalar-oracle agreement at
+    // 1e-10 plus the ROADMAP >=4x speedup target against the scalar row
+    // measured above (the ratio only when a SIMD ISA actually dispatched,
+    // so portable reruns stay meaningful).
+    constexpr std::size_t kPanel = 8;
+    std::vector<double> scalar_values = values;
+    patchsec::ctmc::TransientSolver simd;
+    simd.prepare(graph.chain);
+    (void)simd.reward_curve(initial, rewards, grid, values);  // compile the kernel off-clock
+    const std::vector<std::vector<double>> replicated(kPanel, initial);
+    std::vector<std::vector<double>> replicated_curves;
+    results.push_back(run_bench("transient_curve_k6_simd", reps, [&]() -> Sample {
+      const std::size_t matvecs_before = simd.diagnostics().matvec_count;
+      (void)simd.reward_curve_multi(replicated, rewards, grid, replicated_curves);
+      Sample s;
+      s.tangible_states = graph.tangible_count();
+      s.ctmc_transitions = graph.chain.transitions().size();
+      s.solver_iterations = simd.diagnostics().matvec_count - matvecs_before;
+      s.rhs_count = kPanel;
+      s.converged = simd.kernel_structure_builds() == 1;
+      for (std::size_t b = 0; b < kPanel; ++b) {
+        for (std::size_t j = 0; j < grid.size(); ++j) {
+          s.converged =
+              s.converged && std::abs(replicated_curves[b][j] - scalar_values[j]) <= 1e-10;
+        }
+      }
+      return s;
+    }, static_cast<double>(kPanel)));
+    if (la::spmv_dispatched_isa() != la::SpmvIsa::kScalar) {
+      results.back().converged =
+          results.back().converged &&
+          scalar_warm_best >= 4.0 * results.back().wall_seconds_best;
+    }
+    const double simd_warm_best = results.back().wall_seconds_best;
+
+    // transient_batch8_k6: eight patch-wave initial markings advanced by ONE
+    // panel solve.  The sequential reference (eight single-RHS curves on the
+    // same warm SIMD solver) is timed with the same best-of-reps discipline;
+    // `converged` asserts per-curve equivalence AND that the panel beats it.
+    std::vector<std::vector<double>> initials;
+    for (unsigned i = 1; i <= 8; ++i) {
+      std::map<ent::ServerRole, unsigned> wave_i;
+      for (unsigned role = 0; role < ent::kRoleCount; ++role) {
+        if (i & (1u << role)) wave_i.emplace(static_cast<ent::ServerRole>(role), 1u);
+      }
+      initials.emplace_back(graph.tangible_count(), 0.0);
+      initials.back()[graph.index_of(av::patch_window_marking(net, wave_i))] = 1.0;
+    }
+    std::vector<std::vector<double>> sequential_curves(initials.size());
+    double sequential_best = 0.0;
+    for (std::size_t r = 0; r < reps; ++r) {
+      const auto start = Clock::now();
+      for (std::size_t b = 0; b < initials.size(); ++b) {
+        (void)simd.reward_curve(initials[b], rewards, grid, sequential_curves[b]);
+      }
+      const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+      if (r == 0 || elapsed < sequential_best) sequential_best = elapsed;
+    }
+    std::vector<std::vector<double>> panel_curves;
+    results.push_back(run_bench("transient_batch8_k6", reps, [&]() -> Sample {
+      const std::size_t matvecs_before = simd.diagnostics().matvec_count;
+      (void)simd.reward_curve_multi(initials, rewards, grid, panel_curves);
+      Sample s;
+      s.tangible_states = graph.tangible_count();
+      s.ctmc_transitions = graph.chain.transitions().size();
+      s.solver_iterations = simd.diagnostics().matvec_count - matvecs_before;
+      s.rhs_count = initials.size();
+      for (std::size_t b = 0; b < initials.size(); ++b) {
+        for (std::size_t j = 0; j < grid.size(); ++j) {
+          s.converged =
+              s.converged && std::abs(panel_curves[b][j] - sequential_curves[b][j]) <= 1e-10;
+        }
+      }
+      return s;
+    }));
+    results.back().converged =
+        results.back().converged && results.back().wall_seconds_best < sequential_best;
+    std::printf("  [kernel %s]  warm scalar/simd %.2fx  batch8 panel/sequential %.2fx\n",
+                la::spmv_isa_name(la::spmv_dispatched_isa()),
+                scalar_warm_best / simd_warm_best,
+                sequential_best / results.back().wall_seconds_best);
   }
 
   // Full facade transient evaluation (Session::evaluate_transient, analytic
@@ -431,7 +533,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "run_benchmarks: cannot write %s\n", output.c_str());
     return 1;
   }
-  out << "{\n  \"schema_version\": 4,\n  \"unit\": \"seconds\",\n  \"repetitions\": " << reps
+  out << "{\n  \"schema_version\": 5,\n  \"unit\": \"seconds\",\n  \"repetitions\": " << reps
       << ",\n  \"benches\": [\n";
   out << std::setprecision(9);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -444,6 +546,7 @@ int main(int argc, char** argv) {
         << ", \"solver_iterations\": " << r.solver_iterations
         << ", \"events_fired\": " << r.events_fired
         << ", \"flat_states\": " << r.flat_states
+        << ", \"rhs_count\": " << r.rhs_count
         << ", \"converged\": " << (r.converged ? "true" : "false") << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }

@@ -64,6 +64,27 @@ struct CoaCurveEvaluation {
     const std::vector<double>& time_points_hours, const TransientCoaOptions& options = {},
     ctmc::TransientSolver* workspace = nullptr);
 
+/// Batched transient COA: evaluate the SAME design/rates/grid from B
+/// different patch-wave initial markings in ONE panel solve — the network
+/// SRN, reachability graph, reward vector and uniformized matrix are built
+/// once, and every uniformization expansion term costs one matrix sweep for
+/// all B waves (ctmc::TransientSolver::reward_curve_multi).  This is the
+/// design-sweep shape: COA dip curves for a whole patch campaign's wave
+/// plan in a single pass.
+///
+/// Returns one CoaCurveEvaluation per wave, ordered like `waves`.
+/// `options.initial_down` is ignored (the waves replace it); each result's
+/// `diagnostics`/`transient` describe the SHARED batch solve (matvec_count
+/// counts sweeps; transient.rhs_count records B), so summing them across
+/// results would double-count.  Throws like transient_coa_detailed, plus
+/// std::invalid_argument on an empty wave list.
+[[nodiscard]] std::vector<CoaCurveEvaluation> transient_coa_batch(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates,
+    const std::vector<double>& time_points_hours,
+    const std::vector<std::map<enterprise::ServerRole, unsigned>>& waves,
+    const TransientCoaOptions& options = {}, ctmc::TransientSolver* workspace = nullptr);
+
 /// The patch-window entry marking of `net`: per role, `initial_down` servers
 /// (clamped to the tier size) moved from up to down.  Shared by the analytic
 /// path above and the simulation backend (which must start its replications

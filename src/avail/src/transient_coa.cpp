@@ -71,6 +71,65 @@ CoaCurveEvaluation transient_coa_detailed(
   return result;
 }
 
+std::vector<CoaCurveEvaluation> transient_coa_batch(
+    const enterprise::RedundancyDesign& design,
+    const std::map<enterprise::ServerRole, AggregatedRates>& rates,
+    const std::vector<double>& time_points_hours,
+    const std::vector<std::map<enterprise::ServerRole, unsigned>>& waves,
+    const TransientCoaOptions& options, ctmc::TransientSolver* workspace) {
+  if (time_points_hours.empty()) {
+    throw std::invalid_argument("transient_coa_batch: no time points");
+  }
+  if (waves.empty()) throw std::invalid_argument("transient_coa_batch: no waves");
+  const auto start_time = Clock::now();
+
+  // One model build serves the whole batch — this is the point of batching:
+  // the per-wave marginal cost is one panel column, not a solve.
+  const NetworkSrn net = build_network_srn(design, rates);
+  const petri::ReachabilityGraph graph =
+      petri::build_reachability_graph(net.model, options.reachability);
+
+  const petri::RewardFunction reward = net.coa_reward();
+  std::vector<double> rewards;
+  rewards.reserve(graph.tangible_count());
+  for (const petri::Marking& m : graph.tangible_markings) rewards.push_back(reward(m));
+
+  std::vector<std::vector<double>> initials(waves.size());
+  for (std::size_t b = 0; b < waves.size(); ++b) {
+    initials[b].assign(graph.tangible_count(), 0.0);
+    initials[b][graph.index_of(patch_window_marking(net, waves[b]))] = 1.0;
+  }
+
+  ctmc::TransientSolver local;
+  ctmc::TransientSolver& solver = workspace != nullptr ? *workspace : local;
+  solver.set_options(options.uniformization);
+  solver.prepare(graph.chain);
+
+  std::vector<std::vector<double>> curves;
+  const std::vector<double> accumulated =
+      solver.reward_curve_multi(initials, rewards, time_points_hours, curves);
+
+  const double wall = std::chrono::duration<double>(Clock::now() - start_time).count();
+  std::vector<CoaCurveEvaluation> results(waves.size());
+  for (std::size_t b = 0; b < waves.size(); ++b) {
+    CoaCurveEvaluation& result = results[b];
+    result.accumulated_coa_hours = accumulated[b];
+    result.curve.reserve(curves[b].size());
+    for (std::size_t j = 0; j < curves[b].size(); ++j) {
+      result.curve.push_back({time_points_hours[j], curves[b][j]});
+    }
+    // Shared-solve diagnostics, replicated per wave (see the header note).
+    result.transient = solver.diagnostics();
+    result.diagnostics.tangible_states = graph.tangible_count();
+    result.diagnostics.vanishing_markings = graph.vanishing_markings_seen;
+    result.diagnostics.transitions = graph.chain.transitions().size();
+    result.diagnostics.solver_iterations = result.transient.matvec_count;
+    result.diagnostics.converged = true;  // a finite sum, not a fixpoint iteration
+    result.diagnostics.wall_time_seconds = wall;
+  }
+  return results;
+}
+
 std::vector<CoaPoint> transient_coa_curve(
     const enterprise::RedundancyDesign& design,
     const std::map<enterprise::ServerRole, AggregatedRates>& rates,

@@ -207,6 +207,25 @@ class Session {
   [[nodiscard]] EvalReport evaluate_transient(const enterprise::RedundancyDesign& design,
                                               double patch_interval_hours) const;
 
+  /// Batched transient evaluation: one report per patch wave (an
+  /// EngineOptions::initial_down-shaped map), ordered like `waves`, each as
+  /// if evaluate_transient had run with that wave as the initial marking —
+  /// at the scenario's first patch cadence.  Under the analytic non-lumped
+  /// backend the whole batch is ONE panel solve (avail::transient_coa_batch:
+  /// one reachability/matrix build, one matrix sweep per uniformization term
+  /// for ALL waves — see each report's transient_diagnostics.rhs_count);
+  /// the simulation and lumped backends evaluate the waves sequentially.
+  /// Throws std::invalid_argument on an empty wave list.
+  [[nodiscard]] std::vector<EvalReport> evaluate_transient_batch(
+      const enterprise::RedundancyDesign& design,
+      const std::vector<std::map<enterprise::ServerRole, unsigned>>& waves) const;
+
+  /// Batched transient evaluation at an explicit patch cadence.
+  [[nodiscard]] std::vector<EvalReport> evaluate_transient_batch(
+      const enterprise::RedundancyDesign& design,
+      const std::vector<std::map<enterprise::ServerRole, unsigned>>& waves,
+      double patch_interval_hours) const;
+
   /// Per-role aggregated patch/recovery rates (Table V rows) at the
   /// scenario's first cadence.  Computed on first use, then cached.
   [[nodiscard]] const std::map<enterprise::ServerRole, avail::AggregatedRates>&
@@ -247,6 +266,13 @@ class Session {
   /// serially first and fanning out over threads when the engine asks for it.
   [[nodiscard]] std::vector<EvalReport> run_batch(
       const std::vector<std::pair<enterprise::RedundancyDesign, double>>& jobs) const;
+
+  /// evaluate_transient with an explicit initial marking (the public
+  /// overloads pass EngineOptions::initial_down; evaluate_transient_batch's
+  /// sequential fallback passes each wave).
+  [[nodiscard]] EvalReport evaluate_transient_impl(
+      const enterprise::RedundancyDesign& design, double patch_interval_hours,
+      const std::map<enterprise::ServerRole, unsigned>& initial_down) const;
 
   Scenario scenario_;
   mutable std::mutex cache_mutex_;

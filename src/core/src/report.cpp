@@ -200,7 +200,9 @@ void write_json(std::ostream& out, const std::vector<EvalReport>& reports) {
           << ",\"uniformization\":{\"rate\":" << r.transient_diagnostics.uniformization_rate
           << ",\"left\":" << r.transient_diagnostics.left_point
           << ",\"right\":" << r.transient_diagnostics.right_point
-          << ",\"matvecs\":" << r.transient_diagnostics.matvec_count << "}}";
+          << ",\"matvecs\":" << r.transient_diagnostics.matvec_count
+          << ",\"rhs\":" << r.transient_diagnostics.rhs_count << ",\"kernel\":\""
+          << r.transient_diagnostics.kernel << "\"}}";
     }
     out << "}";
   }

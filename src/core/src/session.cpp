@@ -343,6 +343,12 @@ EvalReport Session::evaluate_transient(const enterprise::RedundancyDesign& desig
 
 EvalReport Session::evaluate_transient(const enterprise::RedundancyDesign& design,
                                        double patch_interval_hours) const {
+  return evaluate_transient_impl(design, patch_interval_hours, scenario_.engine().initial_down);
+}
+
+EvalReport Session::evaluate_transient_impl(
+    const enterprise::RedundancyDesign& design, double patch_interval_hours,
+    const std::map<enterprise::ServerRole, unsigned>& initial_down) const {
   const auto start = Clock::now();
   const EngineOptions& engine = scenario_.engine();
   const std::vector<double> grid = engine.transient_grid();
@@ -364,7 +370,7 @@ EvalReport Session::evaluate_transient(const enterprise::RedundancyDesign& desig
 
   if (report.backend == EvalBackend::kSimulation) {
     const avail::NetworkSrn net = avail::build_network_srn(design, agg.rates);
-    const petri::Marking window_start = avail::patch_window_marking(net, engine.initial_down);
+    const petri::Marking window_start = avail::patch_window_marking(net, initial_down);
     const sim::SrnSimulator simulator(net.model);
     // Unlike evaluate(), no engine.parallel override here: transient
     // evaluation is never dispatched by run_batch, so the replication
@@ -380,7 +386,7 @@ EvalReport Session::evaluate_transient(const enterprise::RedundancyDesign& desig
     report.simulation_diagnostics = est.diagnostics;
   } else {
     avail::TransientCoaOptions options;
-    options.initial_down = engine.initial_down;
+    options.initial_down = initial_down;
     options.uniformization = engine.uniformization;
     options.reachability = engine.reachability;
     const avail::CoaCurveEvaluation eval =
@@ -398,6 +404,82 @@ EvalReport Session::evaluate_transient(const enterprise::RedundancyDesign& desig
   report.aggregation_diagnostics = agg.diagnostics;
   report.wall_time_seconds = seconds_since(start);
   return report;
+}
+
+std::vector<EvalReport> Session::evaluate_transient_batch(
+    const enterprise::RedundancyDesign& design,
+    const std::vector<std::map<enterprise::ServerRole, unsigned>>& waves) const {
+  return evaluate_transient_batch(design, waves, scenario_.patch_interval_hours());
+}
+
+std::vector<EvalReport> Session::evaluate_transient_batch(
+    const enterprise::RedundancyDesign& design,
+    const std::vector<std::map<enterprise::ServerRole, unsigned>>& waves,
+    double patch_interval_hours) const {
+  if (waves.empty()) {
+    throw std::invalid_argument("Session::evaluate_transient_batch: no waves");
+  }
+  const EngineOptions& engine = scenario_.engine();
+  if (engine.backend == EvalBackend::kSimulation || engine.lumping) {
+    // These backends have no panel mode (replications resp. a per-component
+    // quotient pipeline); the batch degenerates to the sequential contract.
+    std::vector<EvalReport> reports;
+    reports.reserve(waves.size());
+    for (const auto& wave : waves) {
+      reports.push_back(evaluate_transient_impl(design, patch_interval_hours, wave));
+    }
+    return reports;
+  }
+
+  const auto start = Clock::now();
+  const std::vector<double> grid = engine.transient_grid();
+  const IntervalAggregation& agg = aggregation_for(patch_interval_hours);
+  const SecurityMetricsPair& security = security_for(design);
+
+  avail::TransientCoaOptions options;
+  options.uniformization = engine.uniformization;
+  options.reachability = engine.reachability;
+  if (engine.parallel && options.uniformization.reduction_threads <= 1) {
+    // The batch solve is one job, so run_batch's design fan-out never covers
+    // it — give the panel reductions the engine's thread budget instead.
+    const unsigned hw = std::thread::hardware_concurrency();
+    options.uniformization.reduction_threads =
+        engine.threads != 0 ? engine.threads : (hw != 0 ? hw : 1);
+  }
+  const std::vector<avail::CoaCurveEvaluation> evals = avail::transient_coa_batch(
+      design, agg.rates, grid, waves, options, &transient_workspace());
+
+  // One shared solve, B report shells around it.  The verification stages
+  // are marking-independent, so every report carries the same set.
+  std::vector<StageVerification> verification;
+  if (engine.verify != VerifyMode::kOff) {
+    verification = agg.verification;
+    verification.push_back(verify_network_stage(design, agg.rates, engine));
+  }
+  const double wall = seconds_since(start);
+
+  std::vector<EvalReport> reports;
+  reports.reserve(waves.size());
+  for (const avail::CoaCurveEvaluation& eval : evals) {
+    EvalReport report;
+    report.design = design;
+    report.patch_interval_hours = patch_interval_hours;
+    report.before_patch = security.before_patch;
+    report.after_patch = security.after_patch;
+    report.backend = engine.backend;
+    report.verification = verification;
+    report.transient.time_points_hours = grid;
+    report.transient.coa.reserve(eval.curve.size());
+    for (const avail::CoaPoint& point : eval.curve) report.transient.coa.push_back(point.coa);
+    report.transient.accumulated_coa_hours = eval.accumulated_coa_hours;
+    report.coa = report.transient.interval_coa();
+    report.availability_diagnostics = eval.diagnostics;
+    report.transient_diagnostics = eval.transient;
+    report.aggregation_diagnostics = agg.diagnostics;
+    report.wall_time_seconds = wall;
+    reports.push_back(std::move(report));
+  }
+  return reports;
 }
 
 std::vector<EvalReport> Session::evaluate_all() const {

@@ -37,10 +37,13 @@
 /// (core::Session keeps one per worker thread, like StationarySolver).
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "patchsec/ctmc/ctmc.hpp"
 #include "patchsec/linalg/csr_matrix.hpp"
+#include "patchsec/linalg/spmv_kernel.hpp"
 
 namespace patchsec::ctmc {
 
@@ -49,6 +52,21 @@ namespace patchsec::ctmc {
 struct TransientOptions {
   double epsilon = 1e-12;             ///< truncation error bound on Poisson mass.
   std::size_t max_terms = 2'000'000;  ///< hard cap on expansion length.
+
+  /// Which inner loop drives the expansion.
+  enum class Kernel : std::uint8_t {
+    kAuto,    ///< linalg::SpmvKernel — SELL-8 layout, CPUID-dispatched
+              ///< SIMD, fused weight-accumulation/reward-reduction passes.
+    kScalar,  ///< the historical in-loop scalar CSR pass, kept bit-exact as
+              ///< the reference trajectory (and the portable worst case).
+  };
+  Kernel kernel = Kernel::kAuto;
+
+  /// Worker threads for the per-grid-point reward reductions over a panel in
+  /// reward_curve_multi (1 = serial).  Each panel column's dot product is
+  /// computed whole, in fixed state order, by exactly one thread — results
+  /// are bit-identical for every thread count.
+  std::size_t reduction_threads = 1;
 };
 
 /// How the last evaluation went: the uniformization constant, the Fox-Glynn
@@ -59,7 +77,17 @@ struct TransientDiagnostics {
   double uniformization_rate = 0.0;  ///< Lambda.
   std::size_t left_point = 0;        ///< Fox-Glynn left truncation of the last window.
   std::size_t right_point = 0;       ///< right truncation of the last window.
-  std::size_t matvec_count = 0;      ///< vector-matrix products since prepare().
+  /// Matrix SWEEPS since prepare().  A panel step advances rhs_count vectors
+  /// in ONE sweep and counts once — multiply by rhs_count for per-vector
+  /// work, so the counter stays an honest traffic metric.
+  std::size_t matvec_count = 0;
+  /// Widest panel advanced since prepare() (1 = single-vector evaluations
+  /// only; 0 = nothing evaluated yet).
+  std::size_t rhs_count = 0;
+  /// Inner-loop id of the last evaluation: "csr-scalar" for the historical
+  /// reference pass, or the dispatched linalg::SpmvKernel name
+  /// ("sell8-avx512" / "sell8-avx2" / "sell8-scalar").
+  std::string kernel;
   double poisson_mass = 0.0;         ///< captured (pre-normalization) mass, last window.
   double wall_time_seconds = 0.0;    ///< evaluation time since prepare().
 };
@@ -99,6 +127,20 @@ class TransientSolver {
   double reward_curve(const std::vector<double>& initial, const std::vector<double>& rewards,
                       const std::vector<double>& time_points, std::vector<double>& values);
 
+  /// reward_curve for B initial distributions AT ONCE over the same chain,
+  /// grid and reward vector: the iterates advance as one column-major panel,
+  /// so every expansion term costs ONE sweep over the matrix instead of B
+  /// (diagnostics().matvec_count counts sweeps; rhs_count records B).
+  /// `curves[b][j]` receives r . pi_b(t_j); the return value is the per-b
+  /// accumulated reward.  Agreement with B sequential reward_curve calls is
+  /// documented at ~1e-12 (the panel kernel reduces in a different
+  /// association order).  Under TransientOptions::Kernel::kScalar the call
+  /// degrades to exactly those sequential solves (the reference mode).
+  std::vector<double> reward_curve_multi(const std::vector<std::vector<double>>& initials,
+                                         const std::vector<double>& rewards,
+                                         const std::vector<double>& time_points,
+                                         std::vector<std::vector<double>>& curves);
+
   [[nodiscard]] const TransientOptions& options() const noexcept { return options_; }
   void set_options(const TransientOptions& options) { options_ = options; }
   [[nodiscard]] const TransientDiagnostics& diagnostics() const noexcept { return diagnostics_; }
@@ -108,6 +150,15 @@ class TransientSolver {
   [[nodiscard]] std::size_t structure_builds() const noexcept { return builds_; }
   /// Number of prepare() calls served by the value-refresh fast path.
   [[nodiscard]] std::size_t structure_reuses() const noexcept { return reuses_; }
+
+  /// The SIMD kernel layer's own build/reuse counters (0 builds until the
+  /// first Kernel::kAuto evaluation — the layout compiles lazily).
+  [[nodiscard]] std::size_t kernel_structure_builds() const noexcept {
+    return kernel_.structure_builds();
+  }
+  [[nodiscard]] std::size_t kernel_structure_reuses() const noexcept {
+    return kernel_.structure_reuses();
+  }
 
   /// Drop the cached matrix and scratch (counters are kept).
   void reset();
@@ -122,6 +173,20 @@ class TransientSolver {
   /// (renormalized) advanced distribution.
   void step(std::vector<double>& state, const std::vector<double>* rewards, double dt,
             double* accumulated);
+
+  /// Panel counterpart of step(): advance the column-major m-wide `panel`
+  /// (element (b, s) at panel[s*m + b], every column a distribution) by dt,
+  /// adding each column's accumulated reward into accumulated[0..m).
+  void step_panel(std::vector<double>& panel, std::size_t m, const std::vector<double>& rewards,
+                  double dt, double* accumulated);
+
+  /// out[b] = dot(panel column b, rewards), threaded per column when
+  /// options_.reduction_threads > 1 (bit-identical either way).
+  void panel_column_dots(const std::vector<double>& panel, std::size_t m,
+                         const std::vector<double>& rewards, std::vector<double>& out) const;
+
+  /// Compile (or value-refresh) kernel_ from the cached uniformized matrix.
+  void ensure_kernel();
 
   TransientOptions options_;
   TransientDiagnostics diagnostics_;
@@ -146,6 +211,17 @@ class TransientSolver {
   std::vector<double> next_;
   std::vector<double> accum_;
   std::vector<double> state_;
+
+  // SIMD kernel workspace over P (compiled lazily on the first kAuto step
+  // after a prepare(), so kScalar evaluations never pay the layout build)
+  // and the panel-stepping scratch.
+  linalg::SpmvKernel kernel_;
+  bool kernel_fresh_ = false;
+  std::vector<double> panel_term_;
+  std::vector<double> panel_next_;
+  std::vector<double> panel_accum_;
+  std::vector<double> panel_dots_;
+  std::vector<double> panel_sums_;
 
   std::size_t builds_ = 0;
   std::size_t reuses_ = 0;

@@ -1,9 +1,12 @@
 #include "patchsec/ctmc/transient_solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <system_error>
+#include <thread>
 
 #include "patchsec/linalg/vector_ops.hpp"
 
@@ -81,6 +84,15 @@ void TransientSolver::prepare(const Ctmc& chain) {
 
   diagnostics_ = TransientDiagnostics{};
   diagnostics_.uniformization_rate = lambda_;
+  // The SIMD layout compiles lazily on the first kAuto evaluation; its own
+  // structure-reuse fast path makes the refresh allocation-free.
+  kernel_fresh_ = false;
+}
+
+void TransientSolver::ensure_kernel() {
+  if (kernel_fresh_) return;
+  kernel_.compile(states_, states_, p_row_offsets_, p_col_indices_, p_values_);
+  kernel_fresh_ = true;
 }
 
 void TransientSolver::reset() {
@@ -92,6 +104,8 @@ void TransientSolver::reset() {
   q_row_offsets_.clear();
   q_col_indices_.clear();
   weights_.clear();
+  kernel_.reset();
+  kernel_fresh_ = false;
   diagnostics_ = TransientDiagnostics{};
 }
 
@@ -176,34 +190,224 @@ void TransientSolver::step(std::vector<double>& state, const std::vector<double>
   term_ = state;
   accum_.assign(states_, 0.0);
   double cumulative = 0.0;  // F(k): Poisson CDF over the (normalized) window
-  for (std::size_t k = 0;; ++k) {
-    if (k >= left_) {
-      const double weight = weights_[k - left_];
-      for (std::size_t i = 0; i < states_; ++i) accum_[i] += weight * term_[i];
+  const bool use_kernel = options_.kernel == TransientOptions::Kernel::kAuto;
+  if (!use_kernel) diagnostics_.kernel = "csr-scalar";
+  diagnostics_.rhs_count = std::max<std::size_t>(diagnostics_.rhs_count, 1);
+  if (use_kernel) {
+    // SIMD path: one fused kernel call per expansion term performs the
+    // weight accumulation, the reward reduction AND the gather-form matvec
+    // (no zero-fill of next_, no per-row branch).
+    ensure_kernel();
+    diagnostics_.kernel = kernel_.kernel_name();
+    const double* r =
+        (accumulated != nullptr && rewards != nullptr) ? rewards->data() : nullptr;
+    next_.resize(states_);
+    for (std::size_t k = 0;; ++k) {
+      const double weight = k >= left_ ? weights_[k - left_] : 0.0;
+      const bool last = k >= right_;
+      const double dot = last ? kernel_.reduce(term_.data(), weight, accum_.data(), r)
+                              : kernel_.step(term_.data(), next_.data(), weight,
+                                             accum_.data(), r);
       cumulative += weight;
-    }
-    if (accumulated != nullptr) {
-      // int_0^dt Poisson(k; Lambda s) ds = (1 - F(k)) / Lambda.
-      const double survival = std::max(0.0, 1.0 - cumulative);
-      *accumulated += survival * linalg::dot(term_, *rewards) / lambda_;
-    }
-    if (k >= right_) break;
-    // term <- term * P (row-vector times CSR matrix).
-    next_.assign(states_, 0.0);
-    for (std::size_t row = 0; row < states_; ++row) {
-      const double v = term_[row];
-      if (v == 0.0) continue;
-      for (std::size_t idx = p_row_offsets_[row]; idx < p_row_offsets_[row + 1]; ++idx) {
-        next_[p_col_indices_[idx]] += v * p_values_[idx];
+      if (accumulated != nullptr) {
+        // int_0^dt Poisson(k; Lambda s) ds = (1 - F(k)) / Lambda.
+        const double survival = std::max(0.0, 1.0 - cumulative);
+        *accumulated += survival * dot / lambda_;
       }
+      if (last) break;
+      term_.swap(next_);
+      ++diagnostics_.matvec_count;
     }
-    term_.swap(next_);
-    ++diagnostics_.matvec_count;
+  } else {
+    for (std::size_t k = 0;; ++k) {
+      if (k >= left_) {
+        const double weight = weights_[k - left_];
+        for (std::size_t i = 0; i < states_; ++i) accum_[i] += weight * term_[i];
+        cumulative += weight;
+      }
+      if (accumulated != nullptr) {
+        // int_0^dt Poisson(k; Lambda s) ds = (1 - F(k)) / Lambda.
+        const double survival = std::max(0.0, 1.0 - cumulative);
+        *accumulated += survival * linalg::dot(term_, *rewards) / lambda_;
+      }
+      if (k >= right_) break;
+      // term <- term * P (row-vector times CSR matrix).  The zero-skip stays
+      // here deliberately: delta initial distributions keep early iterates
+      // genuinely sparse, and this loop is the historical reference
+      // trajectory (TransientOptions::Kernel::kScalar) — bit-exact across
+      // releases.
+      next_.assign(states_, 0.0);
+      for (std::size_t row = 0; row < states_; ++row) {
+        const double v = term_[row];
+        if (v == 0.0) continue;
+        for (std::size_t idx = p_row_offsets_[row]; idx < p_row_offsets_[row + 1]; ++idx) {
+          next_[p_col_indices_[idx]] += v * p_values_[idx];
+        }
+      }
+      term_.swap(next_);
+      ++diagnostics_.matvec_count;
+    }
   }
   // Round-off / truncation guard: the mixture of stochastic vectors is a
   // distribution up to the discarded epsilon tail.
   linalg::normalize_probability(accum_);
   state = accum_;
+}
+
+void TransientSolver::step_panel(std::vector<double>& panel, std::size_t m,
+                                 const std::vector<double>& rewards, double dt,
+                                 double* accumulated) {
+  if (dt <= 0.0) return;
+  if (lambda_ <= 0.0) {
+    panel_column_dots(panel, m, rewards, panel_dots_);
+    for (std::size_t b = 0; b < m; ++b) accumulated[b] += panel_dots_[b] * dt;
+    return;
+  }
+  poisson_window(lambda_ * dt);
+
+  panel_term_ = panel;
+  panel_accum_.assign(panel.size(), 0.0);
+  panel_next_.resize(panel.size());
+  panel_dots_.resize(m);
+  double cumulative = 0.0;
+  for (std::size_t k = 0;; ++k) {
+    const double weight = k >= left_ ? weights_[k - left_] : 0.0;
+    const bool last = k >= right_;
+    if (last) {
+      kernel_.reduce_panel(panel_term_.data(), m, weight, panel_accum_.data(), rewards.data(),
+                           panel_dots_.data());
+    } else {
+      kernel_.step_panel(panel_term_.data(), panel_next_.data(), m, weight,
+                         panel_accum_.data(), rewards.data(), panel_dots_.data());
+    }
+    cumulative += weight;
+    const double survival = std::max(0.0, 1.0 - cumulative);
+    for (std::size_t b = 0; b < m; ++b) accumulated[b] += survival * panel_dots_[b] / lambda_;
+    if (last) break;
+    panel_term_.swap(panel_next_);
+    ++diagnostics_.matvec_count;  // one SWEEP advances all m columns
+  }
+  // Per-column round-off/truncation guard, the panel counterpart of
+  // linalg::normalize_probability.
+  panel_sums_.assign(m, 0.0);
+  for (std::size_t s = 0; s < states_; ++s) {
+    const double* row = panel_accum_.data() + s * m;
+    for (std::size_t b = 0; b < m; ++b) panel_sums_[b] += row[b];
+  }
+  for (std::size_t b = 0; b < m; ++b) {
+    if (!(panel_sums_[b] > 0.0)) {
+      throw std::domain_error("TransientSolver: panel column has no probability mass");
+    }
+    panel_sums_[b] = 1.0 / panel_sums_[b];
+  }
+  for (std::size_t s = 0; s < states_; ++s) {
+    double* row = panel_accum_.data() + s * m;
+    for (std::size_t b = 0; b < m; ++b) row[b] *= panel_sums_[b];
+  }
+  panel = panel_accum_;
+}
+
+void TransientSolver::panel_column_dots(const std::vector<double>& panel, std::size_t m,
+                                        const std::vector<double>& rewards,
+                                        std::vector<double>& out) const {
+  out.assign(m, 0.0);
+  const auto column_dot = [&](std::size_t b) {
+    double acc = 0.0;
+    const double* x = panel.data();
+    for (std::size_t s = 0; s < rewards.size(); ++s) acc += x[s * m + b] * rewards[s];
+    out[b] = acc;
+  };
+  const std::size_t threads =
+      std::min<std::size_t>(std::max<std::size_t>(options_.reduction_threads, 1), m);
+  if (threads <= 1) {
+    for (std::size_t b = 0; b < m; ++b) column_dot(b);
+    return;
+  }
+  // core::Session's worker-pool shape: an atomic cursor over the columns,
+  // each column's dot computed whole (fixed state order) by exactly one
+  // thread — bit-identical results for any thread count, and trivially
+  // race-free (disjoint out[b] writes, join before any read).
+  std::atomic<std::size_t> cursor{0};
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t b = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (b >= m) return;
+      column_dot(b);
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    try {
+      workers.emplace_back(drain);
+    } catch (const std::system_error&) {
+      break;  // thread exhaustion: the inline drain below picks up the rest
+    }
+  }
+  drain();
+  for (std::thread& w : workers) w.join();
+}
+
+std::vector<double> TransientSolver::reward_curve_multi(
+    const std::vector<std::vector<double>>& initials, const std::vector<double>& rewards,
+    const std::vector<double>& time_points, std::vector<std::vector<double>>& curves) {
+  if (!prepared()) throw std::logic_error("TransientSolver: prepare() has not run");
+  if (initials.empty()) throw std::invalid_argument("TransientSolver: empty panel");
+  for (const std::vector<double>& initial : initials) {
+    if (initial.size() != states_) {
+      throw std::invalid_argument("TransientSolver: initial size mismatch");
+    }
+  }
+  if (rewards.size() != states_) {
+    throw std::invalid_argument("TransientSolver: reward size mismatch");
+  }
+  if (time_points.empty()) throw std::invalid_argument("TransientSolver: empty time grid");
+  double previous = 0.0;
+  for (double t : time_points) {
+    if (t < 0.0) throw std::invalid_argument("TransientSolver: negative time point");
+    if (t < previous) throw std::invalid_argument("TransientSolver: time grid must be ascending");
+    previous = t;
+  }
+
+  const std::size_t m = initials.size();
+  std::vector<double> accumulated(m, 0.0);
+  curves.assign(m, std::vector<double>(time_points.size(), 0.0));
+
+  if (options_.kernel == TransientOptions::Kernel::kScalar) {
+    // Reference mode: the panel degrades to sequential single-vector curves
+    // (each one the bit-exact historical trajectory).
+    std::vector<double> values;
+    for (std::size_t b = 0; b < m; ++b) {
+      accumulated[b] = reward_curve(initials[b], rewards, time_points, values);
+      curves[b] = values;
+    }
+    return accumulated;
+  }
+
+  const auto start = Clock::now();
+  ensure_kernel();
+  diagnostics_.kernel = kernel_.kernel_name();
+  diagnostics_.rhs_count = std::max(diagnostics_.rhs_count, m);
+
+  // Interleave the initials into the column-major panel: element (b, s) at
+  // panel[s*m + b], so the kernel's per-entry FMA runs over contiguous RHSes.
+  panel_next_.resize(states_ * m);  // borrowed as the interleave target
+  for (std::size_t b = 0; b < m; ++b) {
+    for (std::size_t s = 0; s < states_; ++s) panel_next_[s * m + b] = initials[b][s];
+  }
+  std::vector<double> panel = std::move(panel_next_);
+  panel_next_ = std::vector<double>();
+
+  previous = 0.0;
+  for (std::size_t j = 0; j < time_points.size(); ++j) {
+    step_panel(panel, m, rewards, time_points[j] - previous, accumulated.data());
+    panel_column_dots(panel, m, rewards, panel_dots_);
+    for (std::size_t b = 0; b < m; ++b) curves[b][j] = panel_dots_[b];
+    previous = time_points[j];
+  }
+  panel_next_ = std::move(panel);  // hand the buffer back to the workspace
+  diagnostics_.wall_time_seconds += seconds_since(start);
+  return accumulated;
 }
 
 void TransientSolver::distribution_at(const std::vector<double>& initial, double t,

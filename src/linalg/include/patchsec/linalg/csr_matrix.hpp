@@ -40,8 +40,15 @@ class CsrMatrix {
   [[nodiscard]] std::size_t nnz() const noexcept { return values_.size(); }
 
   /// y = x^T * A  (row-vector times matrix; the natural operation for
-  /// probability vectors and generators).  y is resized to cols().
+  /// probability vectors and generators).  y is resized to cols().  Tuned
+  /// for DENSE x (no per-row zero test — the solvers' probability iterates
+  /// fill in within a few steps, making the branch a pure mispredict).
   void left_multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// left_multiply variant that skips zero entries of x — the right shape
+  /// for indicator-like inputs (delta initial distributions, reachability
+  /// frontiers) where most rows contribute nothing.  Identical results.
+  void left_multiply_sparse(const std::vector<double>& x, std::vector<double>& y) const;
 
   /// y = A * x  (matrix times column vector).  y is resized to rows().
   void right_multiply(const std::vector<double>& x, std::vector<double>& y) const;

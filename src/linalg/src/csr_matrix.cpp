@@ -42,6 +42,22 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> en
 void CsrMatrix::left_multiply(const std::vector<double>& x, std::vector<double>& y) const {
   if (x.size() != rows_) throw std::invalid_argument("left_multiply: size mismatch");
   y.assign(cols_, 0.0);
+  // No zero-skip here: the callers' iterates (probability vectors under
+  // power/uniformization iteration) are dense, so the branch was a per-row
+  // mispredict costing 7-20% of the sweep depending on row length (see
+  // bench/README.md).  Callers with genuinely sparse inputs use
+  // left_multiply_sparse.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      y[col_indices_[k]] += xr * values_[k];
+    }
+  }
+}
+
+void CsrMatrix::left_multiply_sparse(const std::vector<double>& x, std::vector<double>& y) const {
+  if (x.size() != rows_) throw std::invalid_argument("left_multiply_sparse: size mismatch");
+  y.assign(cols_, 0.0);
   for (std::size_t r = 0; r < rows_; ++r) {
     const double xr = x[r];
     if (xr == 0.0) continue;

@@ -742,6 +742,9 @@ double FactoredAnalyzer::reward_curve(const SeparableReward& reward,
       transient->matvec_count += d.matvec_count;
       transient->poisson_mass = c == 0 ? d.poisson_mass
                                        : std::min(transient->poisson_mass, d.poisson_mass);
+      transient->rhs_count = std::max(transient->rhs_count, d.rhs_count);
+      // The component solvers share one dispatch decision; report any one.
+      if (transient->kernel.empty()) transient->kernel = d.kernel;
     }
     transient->wall_time_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

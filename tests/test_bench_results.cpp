@@ -15,7 +15,7 @@
 
 namespace {
 
-constexpr int kSchemaVersion = 4;
+constexpr int kSchemaVersion = 5;
 
 std::string snapshot_text() {
   const std::string path = std::string(PATCHSEC_SOURCE_DIR) + "/BENCH_RESULTS.json";
@@ -32,6 +32,14 @@ long field_value(const std::string& text, const std::string& key) {
   const std::size_t at = text.find(needle);
   if (at == std::string::npos) return -1;
   return std::stol(text.substr(at + needle.size()));
+}
+
+/// Value of a top-level `"key": <number>` field as a double; -1 when absent.
+double field_double(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::stod(text.substr(at + needle.size()));
 }
 
 /// The row object (up to the closing brace) of one benchmark id; empty when
@@ -59,6 +67,8 @@ const std::vector<std::string>& required_benchmarks() {
       "sim_replications_threaded8",
       "transient_curve_k6_cold",
       "transient_curve_k6_warm",
+      "transient_curve_k6_simd",
+      "transient_batch8_k6",
       "transient_session_paper",
       "sim_transient_curve_threaded8",
       "lumped_k6_evaluate",
@@ -94,6 +104,41 @@ TEST(BenchResults, EveryRowConvergedWithPositiveTimings) {
     EXPECT_EQ(row.find("\"wall_seconds_best\": 0,"), std::string::npos) << id;
     EXPECT_NE(row.find("\"wall_seconds_best\": "), std::string::npos) << id;
   }
+}
+
+TEST(BenchResults, SimdRowsRecordThePanelSpeedup) {
+  const std::string text = snapshot_text();
+  const std::string scalar = bench_row(text, "transient_curve_k6_warm");
+  const std::string simd = bench_row(text, "transient_curve_k6_simd");
+  const std::string batch = bench_row(text, "transient_batch8_k6");
+  ASSERT_FALSE(scalar.empty());
+  ASSERT_FALSE(simd.empty());
+  ASSERT_FALSE(batch.empty());
+  EXPECT_EQ(field_value(scalar, "rhs_count"), 1);
+  EXPECT_EQ(field_value(simd, "rhs_count"), 8);
+  EXPECT_EQ(field_value(batch, "rhs_count"), 8);
+
+  const double scalar_best = field_double(scalar, "wall_seconds_best");
+  const double simd_best = field_double(simd, "wall_seconds_best");
+  const double batch_best = field_double(batch, "wall_seconds_best");
+  ASSERT_GT(scalar_best, 0.0);
+  ASSERT_GT(simd_best, 0.0);
+  ASSERT_GT(batch_best, 0.0);
+  // The ISSUE 8 acceptance ratio: warm-curve work >= 4x faster on the
+  // SIMD+panel path.  The simd row reports PER-CURVE time of an 8-wide
+  // panel (bench/README.md); its in-bench `converged` flag asserts this
+  // same bound at generation time, so a regenerated snapshot that misses
+  // the target fails EveryRowConvergedWithPositiveTimings too.
+  EXPECT_GE(scalar_best / simd_best, 4.0)
+      << "SIMD+panel per-curve time " << simd_best << "s vs scalar " << scalar_best << "s";
+  // The batched 8-wave sweep beats 8 sequential curve solves (in-bench the
+  // row's `converged` compares against 8 sequential SIMD solves — stronger
+  // than the scalar bound re-checked here).
+  EXPECT_LT(batch_best, 8.0 * scalar_best);
+  // Work accounting stays honest: the panel rows did the same number of
+  // matrix SWEEPS as the single-vector row while advancing 8 curves.
+  EXPECT_EQ(field_value(simd, "solver_iterations"), field_value(scalar, "solver_iterations"));
+  EXPECT_EQ(field_value(batch, "solver_iterations"), field_value(scalar, "solver_iterations"));
 }
 
 TEST(BenchResults, LumpedRowsRecordTheStateReduction) {

@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <sstream>
+#include <vector>
 
 #include "patchsec/avail/transient_coa.hpp"
 #include "patchsec/core/report.hpp"
@@ -156,6 +158,80 @@ TEST(TransientEngine, ExplicitCadenceChangesTheCurve) {
   EXPECT_EQ(monthly.patch_interval_hours, 720.0);
 }
 
+// ---------- batched evaluation ----------------------------------------------
+
+TEST(TransientEngine, BatchedWavesMatchSequentialEvaluations) {
+  // evaluate_transient_batch must reproduce per-wave evaluate_transient
+  // curves while doing the matrix work ONCE: each wave rides one column of a
+  // single panel solve, so every report sees the same sweep count and a
+  // rhs_count equal to the wave count.
+  core::EngineOptions engine;
+  engine.time_points = {0.0, 0.5, 2.0, 12.0, 200.0};
+  const std::vector<std::map<ent::ServerRole, unsigned>> waves = {
+      {},  // all-up start
+      {{ent::ServerRole::kApp, 1}},
+      {{ent::ServerRole::kWeb, 1}, {ent::ServerRole::kApp, 1}},
+      {{ent::ServerRole::kDb, 2}},
+  };
+  const core::Session session(transient_scenario(engine));
+  const std::vector<core::EvalReport> batch =
+      session.evaluate_transient_batch(ent::example_network_design(), waves);
+  ASSERT_EQ(batch.size(), waves.size());
+
+  for (std::size_t b = 0; b < waves.size(); ++b) {
+    core::EngineOptions sequential = engine;
+    sequential.initial_down = waves[b];
+    const core::Session reference(transient_scenario(sequential));
+    const core::EvalReport expected =
+        reference.evaluate_transient(ent::example_network_design());
+    ASSERT_EQ(batch[b].transient.coa.size(), expected.transient.coa.size());
+    for (std::size_t j = 0; j < expected.transient.coa.size(); ++j) {
+      EXPECT_NEAR(batch[b].transient.coa[j], expected.transient.coa[j], 1e-11)
+          << "wave " << b << " point " << j;
+    }
+    EXPECT_NEAR(batch[b].transient.accumulated_coa_hours,
+                expected.transient.accumulated_coa_hours, 1e-9);
+    EXPECT_NEAR(batch[b].coa, expected.coa, 1e-11);
+    // Shared-solve diagnostics: one sweep advances every wave.
+    EXPECT_EQ(batch[b].transient_diagnostics.matvec_count,
+              expected.transient_diagnostics.matvec_count);
+    EXPECT_EQ(batch[b].transient_diagnostics.rhs_count, waves.size());
+    EXPECT_FALSE(batch[b].transient_diagnostics.kernel.empty());
+    EXPECT_TRUE(batch[b].converged());
+  }
+
+  EXPECT_THROW((void)session.evaluate_transient_batch(ent::example_network_design(), {}),
+               std::invalid_argument);
+}
+
+TEST(TransientEngine, BatchFallsBackSequentiallyUnderLumping) {
+  // The lumped backend has no panel mode; the batch contract degenerates to
+  // per-wave evaluation and must match it exactly (same code path).
+  core::EngineOptions engine;
+  engine.time_points = {0.0, 1.0, 24.0};
+  engine.lumping = true;
+  const std::vector<std::map<ent::ServerRole, unsigned>> waves = {
+      {{ent::ServerRole::kApp, 1}},
+      {{ent::ServerRole::kWeb, 1}},
+  };
+  const core::Session session(transient_scenario(engine));
+  const std::vector<core::EvalReport> batch =
+      session.evaluate_transient_batch(ent::example_network_design(), waves);
+  ASSERT_EQ(batch.size(), waves.size());
+  for (std::size_t b = 0; b < waves.size(); ++b) {
+    core::EngineOptions sequential = engine;
+    sequential.initial_down = waves[b];
+    const core::Session reference(transient_scenario(sequential));
+    const core::EvalReport expected =
+        reference.evaluate_transient(ent::example_network_design());
+    ASSERT_EQ(batch[b].transient.coa.size(), expected.transient.coa.size());
+    for (std::size_t j = 0; j < expected.transient.coa.size(); ++j) {
+      EXPECT_DOUBLE_EQ(batch[b].transient.coa[j], expected.transient.coa[j]);
+    }
+    EXPECT_EQ(batch[b].transient_diagnostics.rhs_count, 1u);  // no panel ran
+  }
+}
+
 // ---------- simulation backend ----------------------------------------------
 
 TEST(TransientEngine, SimulationBackendAgreesWithAnalyticCurve) {
@@ -256,6 +332,8 @@ TEST(TransientEngine, JsonCarriesTheCurvePayload) {
   EXPECT_NE(json.find("\"accumulated_coa_hours\""), std::string::npos);
   EXPECT_NE(json.find("\"interval_coa\""), std::string::npos);
   EXPECT_NE(json.find("\"uniformization\""), std::string::npos);
+  EXPECT_NE(json.find("\"rhs\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"kernel\":\""), std::string::npos);
 
   // Steady-state reports must NOT grow a transient block.
   std::ostringstream steady_out;
