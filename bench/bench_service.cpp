@@ -1,0 +1,62 @@
+// bench_service: evaluation-service load generator.  Drives the same two
+// request streams as the schema-v6 run_benchmarks rows (see service_load.hpp)
+// and prints their headline numbers — sustained evaluations/sec and cache hit
+// rate — in greppable `name: key=value ...` lines.  Exit status is nonzero
+// when an acceptance predicate fails (throughput / hit-rate floors,
+// bit-identity, grouping), so CI can gate on it directly.
+//
+//   bench_service [--quick] [--requests N] [--workers N]
+//
+//   --quick       500-request stream (CI smoke); default is 2000
+//   --requests N  explicit stream length (the pool stays N/10 distinct)
+//   --workers N   service worker threads (default 2)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "service_load.hpp"
+
+int main(int argc, char** argv) {
+  std::size_t requests = 2000;
+  std::size_t workers = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      requests = 500;
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--requests N] [--workers N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (requests < 10) requests = 10;
+
+  using namespace patchsec::benchsvc;
+
+  const ThroughputOutcome throughput = run_throughput_load(requests, workers);
+  std::printf(
+      "service_throughput_k6: evals_per_second=%.1f cache_hit_rate=%.4f requests=%zu "
+      "distinct=%zu solves=%llu coalesced=%llu wall_seconds=%.6f bit_identical=%s "
+      "converged=%s\n",
+      throughput.evals_per_second, throughput.cache_hit_rate, throughput.requests,
+      throughput.distinct, static_cast<unsigned long long>(throughput.solves),
+      static_cast<unsigned long long>(throughput.coalesced), throughput.wall_seconds,
+      throughput.bit_identical ? "true" : "false", throughput.meets_targets ? "true" : "false");
+
+  const TransientBatchOutcome batch = run_transient_batch_load();
+  std::printf(
+      "service_transient_batch_k6: evals_per_second=%.1f batch_width=%zu requests=%zu "
+      "wall_seconds=%.6f grouped=%s cached_bit_identical=%s matches_solo=%s converged=%s\n",
+      batch.evals_per_second, batch.batch_width, batch.requests, batch.wall_seconds,
+      batch.grouped ? "true" : "false", batch.cached_bit_identical ? "true" : "false",
+      batch.matches_solo ? "true" : "false", batch.converged() ? "true" : "false");
+
+  if (!throughput.meets_targets || !batch.converged()) {
+    std::fprintf(stderr, "bench_service: acceptance predicates FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -16,17 +16,36 @@
 #include <array>
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "patchsec/avail/aggregation.hpp"
 #include "patchsec/avail/network_srn.hpp"
 #include "patchsec/core/scenario.hpp"
+#include "patchsec/ctmc/transient_solver.hpp"
 #include "patchsec/harm/harm.hpp"
+#include "patchsec/linalg/stationary_solver.hpp"
 
 namespace patchsec::core {
+
+/// \brief The warm solver state one evaluation thread owns: the two
+/// steady-state workspaces (the aggregation [server SRN] and availability
+/// [network SRN] stages each cache a single sparsity structure — a sweep
+/// interleaves the two stages, so sharing one slot would rebuild the cached
+/// transpose on every alternation) plus the uniformization workspace of the
+/// transient engine.  A Session keeps one SolverWorkspaces per (Session,
+/// thread); the evaluation service pins one to each worker thread.  None of
+/// the members are thread-safe — never share a SolverWorkspaces across
+/// threads.
+struct SolverWorkspaces {
+  linalg::StationarySolver aggregation;
+  linalg::StationarySolver availability;
+  ctmc::TransientSolver transient;
+};
 
 /// \brief Joint security/availability result for one redundancy design (the
 /// metric payload of the original Evaluator API; EvalReport carries one).
@@ -239,6 +258,35 @@ class Session {
   [[nodiscard]] const std::map<enterprise::ServerRole, petri::SolveDiagnostics>&
   aggregation_diagnostics(double patch_interval_hours) const;
 
+  /// Warm-reuse counters summed over every per-thread workspace slot this
+  /// Session has created.  The per-Session ownership contract (workspaces are
+  /// never shared across Sessions, so interleaving two Sessions cannot thrash
+  /// either one's cached structure) is pinned by the SessionWorkspaces tests
+  /// through these counters.
+  struct WorkspaceCounters {
+    std::size_t thread_slots = 0;  ///< distinct threads that evaluated here.
+    std::size_t transient_structure_builds = 0;   ///< TransientSolver rebuilds.
+    std::size_t transient_structure_reuses = 0;   ///< value-refresh fast paths.
+    std::size_t availability_solves = 0;          ///< upper-layer solves served.
+    std::size_t availability_transpose_rebuilds = 0;
+    std::size_t aggregation_solves = 0;           ///< lower-layer solves served.
+    std::size_t aggregation_transpose_rebuilds = 0;
+  };
+  [[nodiscard]] WorkspaceCounters workspace_counters() const;
+
+  /// The canonical aggregation-cache key for a cadence, shared with the
+  /// service layer's request hashing so both key spaces agree bit-for-bit.
+  /// Keys are EXACT double bits: cadences that differ in the last ulp (e.g.
+  /// 30*24.0 vs 720.0000000001 from cadence arithmetic) are distinct entries
+  /// — both solve correctly, they simply do not share a slot.  The only
+  /// bit-distinct values that would alias (-0.0 and +0.0 compare equal as
+  /// map keys) are rejected by the positivity check, and -0.0 is normalized
+  /// to +0.0 anyway so the exact-bits contract holds even if the range check
+  /// is ever relaxed.  Throws std::invalid_argument on NaN (a NaN key would
+  /// break std::map's strict weak ordering and alias arbitrary entries) and
+  /// on non-positive cadences.
+  [[nodiscard]] static double canonical_interval(double patch_interval_hours);
+
  private:
   struct IntervalAggregation {
     std::map<enterprise::ServerRole, avail::AggregatedRates> rates;
@@ -274,10 +322,29 @@ class Session {
       const enterprise::RedundancyDesign& design, double patch_interval_hours,
       const std::map<enterprise::ServerRole, unsigned>& initial_down) const;
 
+  /// The SolverWorkspaces of the calling thread, created on first use.  Each
+  /// (Session, thread) pair owns its own slot, so two Sessions interleaving
+  /// on one thread can never thrash each other's cached solver structure
+  /// (the warm-reuse contract), and parallel batch workers never contend.
+  SolverWorkspaces& workspaces_for_this_thread() const;
+
   Scenario scenario_;
   mutable std::mutex cache_mutex_;
+  /// Keyed on the canonical_interval() cadence — exact double bits (see the
+  /// key contract there).
   mutable std::map<double, IntervalAggregation> cache_;
+  /// Keyed on design.counts ALONE — sufficient because a RedundancyDesign IS
+  /// its counts array (the defaulted operator== compares nothing else) and
+  /// every other HARM input is Session-immutable: security_for builds
+  /// NetworkModel(design, specs_, policy_) and nothing more, so the patch
+  /// cadence and the EngineOptions never reach the HARM layer.  Pinned by
+  /// SessionMemoizationAudit.HarmMetricsDependOnDesignCountsAlone.
   mutable std::map<std::array<unsigned, enterprise::kRoleCount>, SecurityMetricsPair> harm_cache_;
+  /// Per-thread solver workspaces (guarded by workspace_mutex_; the map is
+  /// touched only to find/create a slot — the workspaces themselves are
+  /// single-owner per thread and used outside the lock).
+  mutable std::mutex workspace_mutex_;
+  mutable std::map<std::thread::id, std::unique_ptr<SolverWorkspaces>> workspaces_;
 };
 
 }  // namespace patchsec::core

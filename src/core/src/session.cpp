@@ -26,35 +26,6 @@ double seconds_since(Clock::time_point start) {
 
 using Job = std::pair<enterprise::RedundancyDesign, double>;
 
-// Solver workspaces, one pair per worker thread: every steady-state solve
-// issued by any Session on this thread reuses the cached transpose/diagonal/
-// scratch, so schedule sweeps (same SRN structure at every cadence) and
-// repeated evaluations pay the solver setup once.  The aggregation (server
-// SRN) and availability (network SRN) stages get separate workspaces —
-// StationarySolver caches a single structure, and a sweep interleaves the
-// two stages, so sharing one slot would rebuild it on every alternation.
-// Options are passed per solve, so sharing workspaces across Sessions with
-// different EngineOptions is sound; StationarySolver itself is
-// single-threaded, which thread_local guarantees here.
-linalg::StationarySolver& aggregation_workspace() {
-  static thread_local linalg::StationarySolver workspace;
-  return workspace;
-}
-
-linalg::StationarySolver& availability_workspace() {
-  static thread_local linalg::StationarySolver workspace;
-  return workspace;
-}
-
-// Transient (uniformization) workspace, same per-thread discipline: repeated
-// evaluate_transient calls on same-structure upper-layer SRNs (schedule
-// sweeps, re-evaluations) refresh the cached uniformized matrix instead of
-// rebuilding it.
-ctmc::TransientSolver& transient_workspace() {
-  static thread_local ctmc::TransientSolver workspace;
-  return workspace;
-}
-
 // Static verification of the upper-layer network net (petri::verify), run
 // before any solve.  The NetworkSrn build itself is a handful of places and
 // transitions — no state-space exploration — so rebuilding it here for the
@@ -147,10 +118,46 @@ DesignEvaluation EvalReport::metrics() const {
 
 Session::Session(Scenario scenario) : scenario_(std::move(scenario)) { scenario_.validate(); }
 
-const Session::IntervalAggregation& Session::aggregation_for(double patch_interval_hours) const {
+double Session::canonical_interval(double patch_interval_hours) {
+  // !(x > 0) also catches NaN, but reject it with its own message: a NaN key
+  // would break std::map's strict weak ordering, silently aliasing entries.
+  if (std::isnan(patch_interval_hours)) {
+    throw std::invalid_argument("Session: patch interval is NaN");
+  }
   if (!(patch_interval_hours > 0.0)) {
     throw std::invalid_argument("Session: patch interval must be > 0 hours");
   }
+  // Normalize the one bit pattern that compares equal to a different one
+  // (-0.0 == +0.0); everything else keys on its exact bits — see the
+  // contract on the declaration.  Unreachable today (zeros are rejected
+  // above) but kept so the contract survives a relaxed range check.
+  return patch_interval_hours == 0.0 ? 0.0 : patch_interval_hours;
+}
+
+SolverWorkspaces& Session::workspaces_for_this_thread() const {
+  const std::lock_guard<std::mutex> lock(workspace_mutex_);
+  std::unique_ptr<SolverWorkspaces>& slot = workspaces_[std::this_thread::get_id()];
+  if (!slot) slot = std::make_unique<SolverWorkspaces>();
+  return *slot;
+}
+
+Session::WorkspaceCounters Session::workspace_counters() const {
+  const std::lock_guard<std::mutex> lock(workspace_mutex_);
+  WorkspaceCounters counters;
+  counters.thread_slots = workspaces_.size();
+  for (const auto& [tid, ws] : workspaces_) {
+    counters.transient_structure_builds += ws->transient.structure_builds();
+    counters.transient_structure_reuses += ws->transient.structure_reuses();
+    counters.availability_solves += ws->availability.solve_count();
+    counters.availability_transpose_rebuilds += ws->availability.transpose_rebuilds();
+    counters.aggregation_solves += ws->aggregation.solve_count();
+    counters.aggregation_transpose_rebuilds += ws->aggregation.transpose_rebuilds();
+  }
+  return counters;
+}
+
+const Session::IntervalAggregation& Session::aggregation_for(double patch_interval_hours) const {
+  patch_interval_hours = canonical_interval(patch_interval_hours);
   {
     const std::lock_guard<std::mutex> lock(cache_mutex_);
     const auto it = cache_.find(patch_interval_hours);
@@ -176,8 +183,8 @@ const Session::IntervalAggregation& Session::aggregation_for(double patch_interv
       if (verify == VerifyMode::kStrict) petri::throw_on_verify_errors(stage.report, stage.stage);
       agg.verification.push_back(std::move(stage));
     }
-    avail::ServerAggregation server =
-        avail::aggregate_server_detailed(spec, srn_options, engine, &aggregation_workspace());
+    avail::ServerAggregation server = avail::aggregate_server_detailed(
+        spec, srn_options, engine, &workspaces_for_this_thread().aggregation);
     agg.rates.emplace(role, server.rates);
     agg.diagnostics.emplace(role, server.diagnostics);
   }
@@ -328,7 +335,8 @@ EvalReport Session::evaluate(const enterprise::RedundancyDesign& design,
     report.availability_diagnostics = coa.diagnostics;
   } else {
     const avail::CoaEvaluation coa = avail::capacity_oriented_availability_detailed(
-        design, agg.rates, scenario_.engine().analyzer_options(), &availability_workspace());
+        design, agg.rates, scenario_.engine().analyzer_options(),
+        &workspaces_for_this_thread().availability);
     report.coa = coa.coa;
     report.availability_diagnostics = coa.diagnostics;
   }
@@ -393,7 +401,7 @@ EvalReport Session::evaluate_transient_impl(
         engine.lumping
             ? avail::transient_coa_lumped_detailed(design, agg.rates, grid, options)
             : avail::transient_coa_detailed(design, agg.rates, grid, options,
-                                            &transient_workspace());
+                                            &workspaces_for_this_thread().transient);
     report.transient.coa.reserve(eval.curve.size());
     for (const avail::CoaPoint& point : eval.curve) report.transient.coa.push_back(point.coa);
     report.transient.accumulated_coa_hours = eval.accumulated_coa_hours;
@@ -447,7 +455,7 @@ std::vector<EvalReport> Session::evaluate_transient_batch(
         engine.threads != 0 ? engine.threads : (hw != 0 ? hw : 1);
   }
   const std::vector<avail::CoaCurveEvaluation> evals = avail::transient_coa_batch(
-      design, agg.rates, grid, waves, options, &transient_workspace());
+      design, agg.rates, grid, waves, options, &workspaces_for_this_thread().transient);
 
   // One shared solve, B report shells around it.  The verification stages
   // are marking-independent, so every report carries the same set.

@@ -4,7 +4,8 @@
 // repo root parses, carries the current schema version, and contains every
 // benchmark id the schema requires — in particular the lumped_* rows whose
 // flat-vs-lumped state counts are the PR-facing evidence of the symmetry
-// lumping speedup.
+// lumping speedup, and the service_* rows whose throughput/hit-rate floors
+// are the PR-facing evidence of the evaluation-service layer.
 
 #include <gtest/gtest.h>
 
@@ -15,7 +16,7 @@
 
 namespace {
 
-constexpr int kSchemaVersion = 5;
+constexpr int kSchemaVersion = 6;
 
 std::string snapshot_text() {
   const std::string path = std::string(PATCHSEC_SOURCE_DIR) + "/BENCH_RESULTS.json";
@@ -75,6 +76,8 @@ const std::vector<std::string>& required_benchmarks() {
       "lumped_k50_evaluate",
       "lumped_k50_transient",
       "schedule_sweep_5x6",
+      "service_throughput_k6",
+      "service_transient_batch_k6",
   };
   return ids;
 }
@@ -154,4 +157,25 @@ TEST(BenchResults, LumpedRowsRecordTheStateReduction) {
     EXPECT_EQ(flat, 6765201) << id;          // 51^4 joint states avoided
     EXPECT_GE(flat / states, 100) << id;     // the ISSUE acceptance ratio
   }
+}
+
+TEST(BenchResults, ServiceRowsRecordThroughputAndHitRate) {
+  const std::string text = snapshot_text();
+  const std::string throughput = bench_row(text, "service_throughput_k6");
+  const std::string batch = bench_row(text, "service_transient_batch_k6");
+  ASSERT_FALSE(throughput.empty());
+  ASSERT_FALSE(batch.empty());
+  // The ISSUE 9 acceptance floors.  The rows' in-bench `converged` flags
+  // additionally assert cache/solo bit-identity (throughput) and full-width
+  // panel grouping with 1e-10 solo agreement (batch) at generation time, so
+  // EveryRowConvergedWithPositiveTimings re-checks those transitively.
+  EXPECT_GE(field_double(throughput, "evals_per_second"), 5000.0)
+      << "service throughput below the 5,000 evals/s acceptance floor";
+  EXPECT_GE(field_double(throughput, "cache_hit_rate"), 0.8)
+      << "cache hit rate below the 0.8 acceptance floor";
+  // The 90%-repeat load makes the hit rate exactly 0.9 by construction.
+  EXPECT_NEAR(field_double(throughput, "cache_hit_rate"), 0.9, 1e-9);
+  // The grouped transient row rode a full-width panel.
+  EXPECT_EQ(field_value(batch, "rhs_count"), 8);
+  EXPECT_GT(field_double(batch, "evals_per_second"), 0.0);
 }

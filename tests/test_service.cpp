@@ -1,0 +1,405 @@
+// The evaluation service layer (src/service): canonical request hashing,
+// the sharded byte-budgeted LRU result cache, in-flight coalescing, the
+// same-structure transient grouping, and end-to-end determinism of the
+// worker pool — cached replies must be bit-identical to fresh solves.
+//
+// The concurrency suites run under BOTH sanitizer jobs (label `service` is
+// in the ASan and TSan ctest filters), so every lock-ordering or lifetime
+// mistake in the queue/coalescing path is caught here, not in production.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "patchsec/core/scenario.hpp"
+#include "patchsec/service/eval_service.hpp"
+#include "patchsec/service/request_hash.hpp"
+#include "patchsec/service/result_cache.hpp"
+
+namespace core = patchsec::core;
+namespace ent = patchsec::enterprise;
+namespace svc = patchsec::service;
+
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Bitwise payload equality (metrics + curve; wall-time diagnostics differ
+/// by nature and are excluded).
+bool payload_bit_identical(const core::EvalReport& a, const core::EvalReport& b) {
+  if (!(a.design == b.design) || !same_bits(a.coa, b.coa) ||
+      !same_bits(a.patch_interval_hours, b.patch_interval_hours)) {
+    return false;
+  }
+  if (!same_bits(a.before_patch.attack_success_probability,
+                 b.before_patch.attack_success_probability) ||
+      !same_bits(a.after_patch.attack_success_probability,
+                 b.after_patch.attack_success_probability)) {
+    return false;
+  }
+  if (a.transient.coa.size() != b.transient.coa.size()) return false;
+  for (std::size_t j = 0; j < a.transient.coa.size(); ++j) {
+    if (!same_bits(a.transient.coa[j], b.transient.coa[j])) return false;
+  }
+  return same_bits(a.transient.accumulated_coa_hours, b.transient.accumulated_coa_hours);
+}
+
+svc::EvalRequest steady_request(const ent::RedundancyDesign& design, double cadence = 0.0) {
+  svc::EvalRequest request;
+  request.design = design;
+  request.patch_interval_hours = cadence;
+  return request;
+}
+
+}  // namespace
+
+// ---------- request hashing -------------------------------------------------
+
+TEST(RequestHash, ScenarioHashIsDeterministicAcrossValueEqualCopies) {
+  const core::Scenario a = core::Scenario::paper_case_study();
+  const core::Scenario b = core::Scenario::paper_case_study();
+  EXPECT_EQ(svc::hash_scenario(a), svc::hash_scenario(b));
+  EXPECT_EQ(svc::hash_engine_options(a.engine()), svc::hash_engine_options(b.engine()));
+}
+
+TEST(RequestHash, ResultAffectingKnobsChangeTheHash) {
+  const core::Scenario base = core::Scenario::paper_case_study();
+  const std::uint64_t reference = svc::hash_scenario(base);
+
+  core::EngineOptions engine = base.engine();
+  engine.steady_state.tolerance = 1e-8;
+  EXPECT_NE(svc::hash_scenario(core::Scenario(base).with_engine(engine)), reference);
+
+  engine = base.engine();
+  engine.lumping = true;
+  EXPECT_NE(svc::hash_scenario(core::Scenario(base).with_engine(engine)), reference);
+
+  engine = base.engine();
+  engine.backend = core::EvalBackend::kSimulation;
+  EXPECT_NE(svc::hash_scenario(core::Scenario(base).with_engine(engine)), reference);
+
+  // The kernel selector IS result-affecting (panel reduction order differs
+  // from scalar at the ulp level) and must split cache entries.
+  engine = base.engine();
+  engine.uniformization.kernel = patchsec::ctmc::TransientOptions::Kernel::kScalar;
+  EXPECT_NE(svc::hash_scenario(core::Scenario(base).with_engine(engine)), reference);
+
+  // A schedule change and a spec change both reach the hash.
+  EXPECT_NE(svc::hash_scenario(core::Scenario(base).with_patch_interval(168.0)), reference);
+  core::Scenario respecced = base;
+  auto specs = respecced.specs();
+  specs.at(ent::ServerRole::kWeb).times.hw_mtbf *= 2.0;
+  respecced.with_specs(std::move(specs));
+  EXPECT_NE(svc::hash_scenario(respecced), reference);
+}
+
+TEST(RequestHash, SchedulingOnlyKnobsDoNotChangeTheHash) {
+  // Each exclusion is result-invariant by a contract proven elsewhere
+  // (request_hash.hpp lists the proofs); the hash must NOT split cache
+  // entries over them or a duplicate-heavy mixed-client load loses its hits.
+  const core::Scenario base = core::Scenario::paper_case_study();
+  const std::uint64_t reference = svc::hash_scenario(base);
+
+  core::EngineOptions engine = base.engine();
+  engine.parallel = true;
+  engine.threads = 8;
+  engine.simulation.threads = 4;
+  engine.uniformization.reduction_threads = 4;
+  engine.reachability.reserve_markings = 10000;
+  EXPECT_EQ(svc::hash_scenario(core::Scenario(base).with_engine(engine)), reference);
+}
+
+TEST(RequestHash, NegativeZeroCanonicalizesAndNanThrows) {
+  svc::HashStream plus;
+  plus.f64(0.0);
+  svc::HashStream minus;
+  minus.f64(-0.0);
+  EXPECT_EQ(plus.digest(), minus.digest());
+  svc::HashStream nan_stream;
+  EXPECT_THROW(nan_stream.f64(std::nan("")), std::invalid_argument);
+}
+
+TEST(RequestHash, RequestKeySeparatesKindDesignCadenceAndWave) {
+  const std::uint64_t scenario_hash =
+      svc::hash_scenario(core::Scenario::paper_case_study());
+  svc::EvalRequest request = steady_request(ent::example_network_design(), 720.0);
+  const std::uint64_t reference = svc::request_key(scenario_hash, request);
+
+  svc::EvalRequest other = request;
+  other.design.counts[1] += 1;
+  EXPECT_NE(svc::request_key(scenario_hash, other), reference);
+
+  other = request;
+  other.patch_interval_hours = 168.0;
+  EXPECT_NE(svc::request_key(scenario_hash, other), reference);
+
+  other = request;
+  other.kind = svc::RequestKind::kTransient;
+  EXPECT_NE(svc::request_key(scenario_hash, other), reference);
+
+  // The wave distinguishes transient requests but is excluded for steady.
+  svc::EvalRequest transient = request;
+  transient.kind = svc::RequestKind::kTransient;
+  svc::EvalRequest waved = transient;
+  waved.wave.emplace(ent::ServerRole::kWeb, 1u);
+  EXPECT_NE(svc::request_key(scenario_hash, waved), svc::request_key(scenario_hash, transient));
+  svc::EvalRequest steady_waved = request;
+  steady_waved.wave.emplace(ent::ServerRole::kWeb, 1u);
+  EXPECT_EQ(svc::request_key(scenario_hash, steady_waved), reference);
+}
+
+TEST(RequestHash, RequestKeyRequiresAResolvedCadence) {
+  const std::uint64_t scenario_hash =
+      svc::hash_scenario(core::Scenario::paper_case_study());
+  EXPECT_THROW((void)svc::request_key(scenario_hash,
+                                      steady_request(ent::example_network_design(), 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)svc::request_key(scenario_hash,
+                                      steady_request(ent::example_network_design(), -720.0)),
+               std::invalid_argument);
+}
+
+// ---------- result cache ----------------------------------------------------
+
+namespace {
+
+/// One real report to populate cache entries with (footprints are equal for
+/// copies, which makes byte-budget arithmetic exact).
+const core::EvalReport& seed_report() {
+  static const core::EvalReport report = [] {
+    const core::Session session(core::Scenario::paper_case_study());
+    return session.evaluate(ent::example_network_design());
+  }();
+  return report;
+}
+
+}  // namespace
+
+TEST(ResultCache, EvictsLeastRecentlyUsedUnderBytePressure) {
+  const std::size_t footprint = svc::ResultCache::report_footprint(seed_report());
+  ASSERT_GT(footprint, 0u);
+  // Budget for three entries (single shard so the arithmetic is exact).
+  svc::ResultCache cache(3 * footprint + footprint / 2, 1);
+  for (std::uint64_t key = 1; key <= 4; ++key) cache.insert(key, seed_report());
+
+  const svc::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 4u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_LE(stats.bytes, stats.byte_budget);
+
+  core::EvalReport out;
+  EXPECT_FALSE(cache.lookup(1, out));  // the oldest entry was the victim
+  EXPECT_TRUE(cache.lookup(2, out));
+  EXPECT_TRUE(cache.lookup(3, out));
+  EXPECT_TRUE(cache.lookup(4, out));
+  EXPECT_TRUE(payload_bit_identical(out, seed_report()));
+}
+
+TEST(ResultCache, LookupPromotesToMostRecentlyUsed) {
+  const std::size_t footprint = svc::ResultCache::report_footprint(seed_report());
+  svc::ResultCache cache(2 * footprint + footprint / 2, 1);
+  cache.insert(1, seed_report());
+  cache.insert(2, seed_report());
+  core::EvalReport out;
+  ASSERT_TRUE(cache.lookup(1, out));  // promote 1; 2 becomes the LRU tail
+  cache.insert(3, seed_report());
+  EXPECT_TRUE(cache.lookup(1, out));
+  EXPECT_FALSE(cache.lookup(2, out));
+  EXPECT_TRUE(cache.lookup(3, out));
+}
+
+TEST(ResultCache, ZeroBudgetRejectsEveryInsert) {
+  svc::ResultCache cache(0, 4);
+  cache.insert(1, seed_report());
+  core::EvalReport out;
+  EXPECT_FALSE(cache.lookup(1, out));
+  const svc::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.insertions, 0u);
+}
+
+// ---------- the service -----------------------------------------------------
+
+TEST(EvalService, CachedReplyIsBitIdenticalToTheFreshSolve) {
+  svc::EvalService service(core::Scenario::paper_case_study(), {});
+  const svc::ServiceReply first = service.evaluate(steady_request(ent::example_network_design()));
+  const svc::ServiceReply second =
+      service.evaluate(steady_request(ent::example_network_design()));
+  EXPECT_EQ(first.source, svc::ReplySource::kSolve);
+  EXPECT_EQ(second.source, svc::ReplySource::kCache);
+  EXPECT_EQ(first.key, second.key);
+  EXPECT_TRUE(payload_bit_identical(first.report, second.report));
+
+  // And bit-identical to an untouched Session's solve of the same request —
+  // the warm-workspace reuse contract (solvers cold-start their iterates).
+  const core::Session solo(core::Scenario::paper_case_study());
+  EXPECT_TRUE(payload_bit_identical(second.report, solo.evaluate(ent::example_network_design())));
+  // A default-cadence request and the explicit scenario cadence share a key.
+  const svc::ServiceReply explicit_cadence =
+      service.evaluate(steady_request(ent::example_network_design(), 720.0));
+  EXPECT_EQ(explicit_cadence.source, svc::ReplySource::kCache);
+  EXPECT_EQ(explicit_cadence.key, first.key);
+}
+
+TEST(EvalService, CoalescesIdenticalConcurrentRequestsIntoOneSolve) {
+  constexpr std::size_t kWaiters = 6;
+  svc::ServiceOptions options;
+  options.workers = 2;
+  options.cache_bytes = 0;       // storage off: coalescing alone must carry this
+  options.start_workers = false;  // everything enqueued before a worker looks
+  svc::EvalService service(core::Scenario::paper_case_study(), options);
+
+  std::vector<std::future<svc::ServiceReply>> futures;
+  for (std::size_t i = 0; i < kWaiters; ++i) {
+    futures.push_back(service.submit(steady_request(ent::example_network_design())));
+  }
+  service.start();
+
+  std::size_t solve_replies = 0;
+  std::size_t coalesced_replies = 0;
+  std::vector<svc::ServiceReply> replies;
+  for (std::future<svc::ServiceReply>& future : futures) replies.push_back(future.get());
+  for (const svc::ServiceReply& reply : replies) {
+    solve_replies += reply.source == svc::ReplySource::kSolve ? 1 : 0;
+    coalesced_replies += reply.source == svc::ReplySource::kCoalesced ? 1 : 0;
+    EXPECT_TRUE(payload_bit_identical(reply.report, replies.front().report));
+  }
+  EXPECT_EQ(solve_replies, 1u);
+  EXPECT_EQ(coalesced_replies, kWaiters - 1);
+
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.solves, 1u);      // K identical requests paid ONE solve
+  EXPECT_EQ(stats.coalesced, kWaiters - 1);
+  EXPECT_EQ(stats.cache.hits, 0u);  // storage was off, so these were not hits
+}
+
+TEST(EvalService, GroupsSameStructureTransientJobsIntoOnePanel) {
+  constexpr std::size_t kWaves = 4;
+  svc::ServiceOptions options;
+  options.workers = 1;
+  options.start_workers = false;
+  options.max_batch = kWaves;
+  svc::EvalService service(core::Scenario::paper_case_study(), options);
+
+  std::vector<std::future<svc::ServiceReply>> futures;
+  for (std::size_t i = 0; i < kWaves; ++i) {
+    svc::EvalRequest request = steady_request(ent::example_network_design());
+    request.kind = svc::RequestKind::kTransient;
+    request.wave.emplace(static_cast<ent::ServerRole>(i), 1u);
+    futures.push_back(service.submit(std::move(request)));
+  }
+  service.start();
+  std::vector<svc::ServiceReply> replies;
+  for (std::future<svc::ServiceReply>& future : futures) replies.push_back(future.get());
+
+  EXPECT_EQ(service.stats().solves, 1u);  // one panel retired all waves
+  for (const svc::ServiceReply& reply : replies) {
+    EXPECT_EQ(reply.batch_width, kWaves);
+    EXPECT_EQ(reply.source, svc::ReplySource::kSolve);
+    EXPECT_FALSE(reply.report.transient.empty());
+  }
+
+  // The grouped curves match the Session's own batch API bit-for-bit: the
+  // service solved through the very same evaluate_transient_batch panel.
+  const core::Session solo(core::Scenario::paper_case_study());
+  std::vector<std::map<ent::ServerRole, unsigned>> waves;
+  for (std::size_t i = 0; i < kWaves; ++i) {
+    waves.push_back({{static_cast<ent::ServerRole>(i), 1u}});
+  }
+  const std::vector<core::EvalReport> oracle =
+      solo.evaluate_transient_batch(ent::example_network_design(), waves);
+  for (std::size_t i = 0; i < kWaves; ++i) {
+    EXPECT_TRUE(payload_bit_identical(replies[i].report, oracle[i]));
+  }
+}
+
+TEST(EvalService, ConcurrentMixedLoadIsDeterministic) {
+  // Several submitter threads hammer a small design set through one service;
+  // every reply — whatever its source — must be bit-identical to a fresh
+  // solo-Session solve of the same design.  (The `service` label puts this
+  // under TSan, which additionally vets the queue/coalescing locking.)
+  const std::vector<ent::RedundancyDesign> designs = {
+      ent::RedundancyDesign{{1, 1, 1, 1}},
+      ent::example_network_design(),
+      ent::RedundancyDesign{{1, 2, 1, 2}},
+  };
+  const core::Session solo(core::Scenario::paper_case_study());
+  std::vector<core::EvalReport> oracle;
+  oracle.reserve(designs.size());
+  for (const ent::RedundancyDesign& design : designs) oracle.push_back(solo.evaluate(design));
+
+  svc::ServiceOptions options;
+  options.workers = 2;
+  svc::EvalService service(core::Scenario::paper_case_study(), options);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 12;
+  std::vector<std::thread> submitters;
+  std::vector<int> mismatches(kThreads, 0);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t n = 0; n < kPerThread; ++n) {
+        const std::size_t which = (t + n) % designs.size();
+        const svc::ServiceReply reply = service.evaluate(steady_request(designs[which]));
+        if (!payload_bit_identical(reply.report, oracle[which])) ++mismatches[t];
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  for (std::size_t t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+  // Every request beyond the first per design was a hit or a coalesce.
+  EXPECT_EQ(stats.solves + stats.coalesced + stats.cache.hits, kThreads * kPerThread);
+}
+
+TEST(EvalService, GracefulShutdownFulfillsQueuedWork) {
+  svc::ServiceOptions options;
+  options.start_workers = false;  // nothing will ever run the queue...
+  svc::EvalService service(core::Scenario::paper_case_study(), options);
+  std::future<svc::ServiceReply> queued =
+      service.submit(steady_request(ent::example_network_design()));
+  service.shutdown();  // ...so shutdown itself must drain it
+  const svc::ServiceReply reply = queued.get();
+  EXPECT_EQ(reply.source, svc::ReplySource::kSolve);
+  EXPECT_GT(reply.report.coa, 0.9);
+  EXPECT_THROW((void)service.submit(steady_request(ent::example_network_design())),
+               std::runtime_error);
+}
+
+TEST(EvalService, SolveErrorsPropagateThroughTheFuture) {
+  core::EngineOptions starved;
+  starved.steady_state.max_iterations = 1;
+  starved.throw_on_divergence = true;
+  svc::EvalService service(core::Scenario::paper_case_study().with_engine(starved), {});
+  EXPECT_THROW((void)service.evaluate(steady_request(ent::RedundancyDesign{{2, 2, 2, 2}})),
+               std::runtime_error);
+  // The service survives the failed solve and keeps serving.
+  const svc::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache.insertions, 0u);
+}
+
+TEST(EvalService, WorkspaceSlotsArePinnedPerWorker) {
+  // Each worker thread owns its own SolverWorkspaces slot inside the
+  // service's Session — N workers, N slots, none shared with this thread.
+  svc::ServiceOptions options;
+  options.workers = 2;
+  svc::EvalService service(core::Scenario::paper_case_study(), options);
+  std::vector<std::future<svc::ServiceReply>> futures;
+  for (unsigned k = 1; k <= 4; ++k) {
+    futures.push_back(service.submit(steady_request(ent::RedundancyDesign{{k, 1, 1, 1}})));
+  }
+  for (std::future<svc::ServiceReply>& future : futures) (void)future.get();
+  const core::Session::WorkspaceCounters counters = service.session().workspace_counters();
+  EXPECT_GE(counters.thread_slots, 1u);
+  EXPECT_LE(counters.thread_slots, options.workers);
+  EXPECT_GT(counters.availability_solves, 0u);
+}

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -618,4 +619,95 @@ TEST(SessionMemoizationAudit, LumpedTransientMatchesFlatTransient) {
   EXPECT_EQ(l.availability_diagnostics.flat_states, 36u);
   EXPECT_EQ(f.availability_diagnostics.flat_states, 0u);
   EXPECT_GT(l.transient_diagnostics.matvec_count, 0u);
+}
+
+// ---------- memoization-key audits (service-layer cache contracts) ------------
+//
+// The evaluation service (src/service) fronts Session with a content-hashed
+// result cache, so the Session-level memoization keys below are load-bearing
+// for cache correctness, not just for performance.  Each audit pins one key
+// contract cited in session.hpp.
+
+namespace {
+
+bool audit_same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+TEST(SessionMemoizationAudit, CadenceKeyCanonicalizesAndUsesExactBits) {
+  // The aggregation cache key is the canonical_interval() double: NaN and
+  // non-positive cadences (including -0.0, whose bit pattern would alias
+  // +0.0 under operator<) are rejected before they can reach the std::map.
+  EXPECT_THROW((void)core::Session::canonical_interval(std::nan("")), std::invalid_argument);
+  EXPECT_THROW((void)core::Session::canonical_interval(0.0), std::invalid_argument);
+  EXPECT_THROW((void)core::Session::canonical_interval(-0.0), std::invalid_argument);
+  EXPECT_THROW((void)core::Session::canonical_interval(-720.0), std::invalid_argument);
+  // Positive cadences pass through with their exact bits.
+  EXPECT_TRUE(audit_same_bits(core::Session::canonical_interval(720.0), 720.0));
+
+  // Exact-bits contract on the live cache: the same bit pattern shares one
+  // memoized entry, while a one-ulp-different cadence is a distinct key
+  // (no epsilon collapsing — two "almost equal" schedules are two results).
+  const core::Session session(core::Scenario::paper_case_study());
+  const double month = 720.0;
+  const double month_plus_ulp = std::nextafter(month, 1000.0);
+  const auto* first = &session.aggregated_rates(month);
+  EXPECT_EQ(first, &session.aggregated_rates(month));
+  EXPECT_NE(first, &session.aggregated_rates(month_plus_ulp));
+}
+
+TEST(SessionMemoizationAudit, HarmMetricsDependOnDesignCountsAlone) {
+  // Pinned by the harm_cache_ comment in session.hpp: the HARM key is the
+  // design's counts array ALONE.  Sound because the patch cadence and the
+  // EngineOptions never reach the HARM layer — so the same design evaluated
+  // at different cadences must produce bit-identical security metrics.
+  const core::Session session(core::Scenario::paper_case_study());
+  const core::EvalReport monthly = session.evaluate(ent::example_network_design(), 720.0);
+  const core::EvalReport weekly = session.evaluate(ent::example_network_design(), 168.0);
+  EXPECT_TRUE(audit_same_bits(monthly.before_patch.attack_impact,
+                              weekly.before_patch.attack_impact));
+  EXPECT_TRUE(audit_same_bits(monthly.before_patch.attack_success_probability,
+                              weekly.before_patch.attack_success_probability));
+  EXPECT_TRUE(audit_same_bits(monthly.after_patch.attack_impact,
+                              weekly.after_patch.attack_impact));
+  EXPECT_TRUE(audit_same_bits(monthly.after_patch.attack_success_probability,
+                              weekly.after_patch.attack_success_probability));
+  EXPECT_EQ(monthly.before_patch.attack_paths, weekly.before_patch.attack_paths);
+  EXPECT_EQ(monthly.before_patch.entry_points, weekly.before_patch.entry_points);
+  // The key DOES discriminate on counts: a different design changes the
+  // attack surface (more replicas, more paths/entry points into the HARM).
+  ent::RedundancyDesign thinner = ent::example_network_design();
+  thinner.counts[0] = thinner.counts[0] > 1 ? 1u : 2u;
+  const core::EvalReport other = session.evaluate(thinner, 720.0);
+  EXPECT_TRUE(monthly.before_patch.attack_paths != other.before_patch.attack_paths ||
+              monthly.before_patch.entry_points != other.before_patch.entry_points ||
+              !audit_same_bits(monthly.before_patch.attack_impact,
+                               other.before_patch.attack_impact));
+}
+
+TEST(SessionMemoizationAudit, InterleavedSessionsKeepTheirWarmStructures) {
+  // Regression for the per-Session workspace refactor: solver workspaces
+  // used to be function-static thread_locals SHARED by every Session, so
+  // two Sessions interleaving transient solves on one thread thrashed each
+  // other's cached CSR structure (zero reuses, a rebuild per call).  Each
+  // (Session, thread) pair now owns its slot, so the A/B/A/B interleave
+  // below must still hit each Session's value-refresh fast path.
+  core::EngineOptions engine;
+  engine.time_points = {0.5, 2.0, 24.0};
+  const core::Session first(core::Scenario::paper_case_study().with_engine(engine));
+  const core::Session second(core::Scenario::paper_case_study().with_engine(engine));
+  for (int round = 0; round < 2; ++round) {
+    (void)first.evaluate_transient(ent::example_network_design());
+    (void)second.evaluate_transient(ent::example_network_design());
+  }
+  const core::Session::WorkspaceCounters a = first.workspace_counters();
+  const core::Session::WorkspaceCounters b = second.workspace_counters();
+  EXPECT_EQ(a.thread_slots, 1u);
+  EXPECT_EQ(b.thread_slots, 1u);
+  EXPECT_EQ(a.transient_structure_builds, 1u);
+  EXPECT_EQ(b.transient_structure_builds, 1u);
+  EXPECT_GE(a.transient_structure_reuses, 1u);
+  EXPECT_GE(b.transient_structure_reuses, 1u);
 }
