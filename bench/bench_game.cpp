@@ -1,0 +1,61 @@
+// bench_game: game-layer equilibrium load generator.  Solves the same k=6
+// attacker–defender game as the schema-v7 `game_equilibrium_k6` row of
+// run_benchmarks (see game_load.hpp) and prints its headline numbers —
+// convergence, certificate, iterations, cache hit rate, sustained grid
+// evaluations/sec — in greppable `name: key=value ...` lines.  Exit status
+// is nonzero when an acceptance predicate fails (converged + certified +
+// hit rate >= 0.5 + thread-count determinism), so CI can gate on it
+// directly.
+//
+//   bench_game [--workers N]
+//
+//   --workers N   service worker threads of the second run (default 4); the
+//                 first run always uses 1 worker and both equilibria must
+//                 match bit for bit.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "game_load.hpp"
+
+int main(int argc, char** argv) {
+  std::size_t workers = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--workers N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (workers == 0) workers = 1;
+
+  using namespace patchsec::benchgame;
+  using Clock = std::chrono::steady_clock;
+
+  const auto start = Clock::now();
+  GameOutcome solo = run_equilibrium(1);
+  solo.evals_per_second = static_cast<double>(solo.submitted) /
+                          std::chrono::duration<double>(Clock::now() - start).count();
+
+  const GameOutcome pooled = run_equilibrium(workers);
+  const bool thread_invariant = equal_equilibria(solo.result, pooled.result);
+
+  std::printf(
+      "game_equilibrium_k6: converged=%s certified=%s iterations=%zu grid_cells=%zu "
+      "solves=%llu cache_hit_rate=%.4f evals_per_second=%.1f deterministic=%s "
+      "thread_invariant=%s\n",
+      solo.converged ? "true" : "false", solo.certified ? "true" : "false", solo.iterations,
+      solo.grid_cells, static_cast<unsigned long long>(solo.solves), solo.cache_hit_rate,
+      solo.evals_per_second, solo.deterministic ? "true" : "false",
+      thread_invariant ? "true" : "false");
+
+  if (!solo.converged || !solo.certified || !solo.deterministic || !thread_invariant ||
+      solo.cache_hit_rate < 0.5) {
+    std::fprintf(stderr, "bench_game: acceptance predicates FAILED\n");
+    return 1;
+  }
+  return 0;
+}

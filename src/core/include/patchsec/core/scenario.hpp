@@ -18,6 +18,7 @@
 
 #include "patchsec/ctmc/transient_solver.hpp"
 #include "patchsec/enterprise/design.hpp"
+#include "patchsec/harm/attack_graph.hpp"
 #include "patchsec/enterprise/network.hpp"
 #include "patchsec/linalg/steady_state.hpp"
 #include "patchsec/petri/reachability.hpp"
@@ -111,6 +112,19 @@ struct EngineOptions {
   std::map<enterprise::ServerRole, unsigned> initial_down;
   /// Truncation policy of the analytic transient engine (uniformization).
   ctmc::TransientOptions uniformization;
+
+  /// Attack-path enumeration cap of the HARM security side.  The simple-path
+  /// count grows ~k^4 with a uniform k-per-tier design (every replica
+  /// combination along each role sequence is its own path — the scaling wall
+  /// that used to cap Session benches at k = 10 with a hard throw), so the
+  /// Session default TRUNCATES at the cap: the first `max_paths` paths (DFS
+  /// order) feed the metrics and the overflow is counted in
+  /// SecurityMetrics::truncated_paths — observable in every EvalReport, never
+  /// silent.  Set truncate = false to restore the historical throw-at-cap
+  /// behaviour; raise/lower max_paths to trade exactness for memory.  (The
+  /// bare harm::Harm::evaluate() keeps the throwing default — only the
+  /// engine-routed evaluations opt into truncation.)
+  harm::PathEnumerationOptions harm_paths{1'000'000, true};
 
   /// Static model verification (petri::verify): runs on every lower-layer
   /// server net and the upper-layer network net before reachability, at

@@ -336,8 +336,10 @@ class Session {
   /// Keyed on design.counts ALONE — sufficient because a RedundancyDesign IS
   /// its counts array (the defaulted operator== compares nothing else) and
   /// every other HARM input is Session-immutable: security_for builds
-  /// NetworkModel(design, specs_, policy_) and nothing more, so the patch
-  /// cadence and the EngineOptions never reach the HARM layer.  Pinned by
+  /// NetworkModel(design, specs_, policy_) and evaluates it under
+  /// engine().harm_paths, so the patch cadence never reaches the HARM layer
+  /// and the only EngineOptions field that does (the path-enumeration cap)
+  /// is fixed for the Session's lifetime.  Pinned by
   /// SessionMemoizationAudit.HarmMetricsDependOnDesignCountsAlone.
   mutable std::map<std::array<unsigned, enterprise::kRoleCount>, SecurityMetricsPair> harm_cache_;
   /// Per-thread solver workspaces (guarded by workspace_mutex_; the map is

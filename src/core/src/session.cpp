@@ -282,8 +282,12 @@ const Session::SecurityMetricsPair& Session::security_for(
   const enterprise::NetworkModel network(design, scenario_.specs(), scenario_.policy());
   const harm::Harm before = network.build_harm();
   SecurityMetricsPair metrics;
-  metrics.before_patch = before.evaluate();
-  metrics.after_patch = before.after_critical_patch().evaluate();
+  // Path enumeration runs under the engine's cap policy (truncating by
+  // default, with the overflow counted in SecurityMetrics::truncated_paths)
+  // so a large-k design degrades observably instead of throwing at the
+  // historical hard wall.
+  metrics.before_patch = before.evaluate(scenario_.engine().harm_paths);
+  metrics.after_patch = before.after_critical_patch().evaluate(scenario_.engine().harm_paths);
 
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   return harm_cache_.try_emplace(design.counts, std::move(metrics)).first->second;

@@ -1,0 +1,220 @@
+#pragma once
+/// \file best_response.hpp
+/// \brief Gauss-Seidel best-response solver for the patch-scheduling game,
+/// with a verified (not assumed) equilibrium certificate.
+///
+/// One solver round:
+///
+///  1. **Defender step** — sweep the FULL design x cadence grid through the
+///     EvalService (every cell submitted every round; round two onward the
+///     sweep is pure cache hits, which is both the memoization contract the
+///     tests pin and what keeps the frontier data complete), filter cells by
+///     the cost budget and the exposure bound under the attacker's *current*
+///     weights, and take the feasible COA maximizer.  Ties prefer the
+///     incumbent cell (stabilizes fixed points), then the lexicographically
+///     smallest (i, j); after persistent cycling, ties are broken by a
+///     seeded draw instead.  If no cell is feasible the defender parks on
+///     the minimum-exposure cell and the round is flagged infeasible.
+///  2. **Attacker step** — given the defender's cell, allocate the effort
+///     budget greedily over classes in descending utility (exact for a
+///     linear objective over the capped simplex { 0 <= w_c <= cap,
+///     sum w_c <= budget }), ties by canonical class order.  Once a cycle
+///     has been detected the step is damped:
+///     w <- (1 - damping) w + damping w_br.
+///
+/// Convergence = the defender cell repeats AND no attacker weight moved more
+/// than weight_tolerance.  Cycle handling escalates: exact state revisit
+/// (hash of cell + weight bits) -> enable damping -> still revisiting ->
+/// seeded randomized tie-breaking -> still revisiting or out of rounds ->
+/// return converged = false with the cycle recorded in the
+/// OscillationDiagnostic.  Nothing loops forever.
+///
+/// The certificate re-derives both best responses at the fixed point from
+/// stored data: the defender check replays the feasibility filter over every
+/// grid cell and bounds the best feasible COA gain; the attacker check
+/// compares against a fresh greedy optimum AND walks all weight-transfer
+/// pairs (the KKT-style exchange argument: moving mass from a held class to
+/// a strictly-better-utility class with cap slack would improve).  Both
+/// bounds must stay within certificate_epsilon or `verified` stays false.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "patchsec/core/session.hpp"
+#include "patchsec/game/game_spec.hpp"
+#include "patchsec/harm/path_classes.hpp"
+#include "patchsec/service/eval_service.hpp"
+
+namespace patchsec::game {
+
+/// One defender pure strategy: a cell of the design x cadence grid.
+struct DefenderStrategy {
+  std::size_t design_index = 0;
+  std::size_t cadence_index = 0;
+  friend bool operator==(const DefenderStrategy&, const DefenderStrategy&) = default;
+};
+
+/// One attacker mixed strategy: effort weights aligned with the canonical
+/// class universe (EquilibriumResult::class_names).
+struct AttackerStrategy {
+  std::vector<double> weights;
+};
+
+/// Per-round trace entry (the Gauss-Seidel transcript).
+struct IterationRecord {
+  std::size_t iteration = 0;  ///< 1-based round number.
+  DefenderStrategy defender;
+  double defender_payoff = 0.0;  ///< COA of the chosen cell.
+  double attacker_payoff = 0.0;  ///< sum_c w_c u_c after this round's attacker step.
+  double exposure = 0.0;         ///< coupled-constraint value at the chosen cell.
+  bool defender_feasible = true; ///< false when the round used the min-exposure fallback.
+  bool defender_changed = false; ///< cell differs from the previous round.
+  double attacker_shift = 0.0;   ///< max_c |w_c - w_c_prev| after damping.
+  bool damped = false;           ///< damping was active this round.
+};
+
+/// One grid cell of the COA/AIM decision frontier under the final weights.
+struct FrontierPoint {
+  std::size_t design_index = 0;
+  std::size_t cadence_index = 0;
+  std::string design_name;
+  double cadence_hours = 0.0;
+  double coa = 0.0;            ///< defender payoff of the cell.
+  double attack_impact = 0.0;  ///< before-patch AIM of the design.
+  double attack_success = 0.0; ///< before-patch ASP of the design.
+  double deployment_cost = 0.0;
+  double exposure = 0.0;         ///< coupled constraint under the final weights.
+  double attacker_payoff = 0.0;  ///< attacker value of this cell under the final weights.
+  bool cost_feasible = false;
+  bool exposure_feasible = false;
+  bool equilibrium = false;  ///< this cell is the equilibrium defender strategy.
+};
+
+/// Deviation-check certificate: recomputed at the fixed point, never assumed
+/// from convergence.  `verified` requires both player checks to pass.
+struct DeviationCertificate {
+  bool verified = false;
+  bool defender_ok = false;
+  bool attacker_ok = false;
+  /// Best feasible COA improvement any grid deviation offers (<= epsilon to pass).
+  double defender_best_gain = 0.0;
+  /// Greedy-optimum payoff minus held payoff (<= epsilon to pass).
+  double attacker_best_gain = 0.0;
+  /// Best utility-rate gain over all pairwise weight transfers with cap/mass
+  /// slack (the exchange check; <= epsilon to pass).
+  double attacker_exchange_gain = 0.0;
+  std::size_t defender_strategies_checked = 0;
+  std::size_t attacker_transfers_checked = 0;
+};
+
+/// What the cycle detector saw (populated whether or not damping rescued the
+/// run; `converged = false` runs carry the unresolved cycle here).
+struct OscillationDiagnostic {
+  bool cycle_detected = false;
+  std::size_t first_cycle_iteration = 0;  ///< round of the first exact state revisit.
+  std::size_t cycle_length = 0;           ///< revisit distance (rounds).
+  bool damping_engaged = false;
+  bool randomized_ties_engaged = false;
+  /// Defender cells along the detected cycle, oldest first (diagnostic only).
+  std::vector<DefenderStrategy> cycle_states;
+};
+
+/// The solver's full answer: strategies, payoffs, trace, frontier,
+/// certificate, and the service counters the run generated.
+struct EquilibriumResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+
+  DefenderStrategy defender;
+  enterprise::RedundancyDesign design;  ///< resolved defender design.
+  double cadence_hours = 0.0;           ///< resolved defender cadence.
+  AttackerStrategy attacker;
+  std::vector<std::string> class_names;  ///< canonical class universe, aligned with weights.
+
+  double defender_payoff = 0.0;  ///< equilibrium COA.
+  double attacker_payoff = 0.0;  ///< equilibrium attacker value.
+  double exposure = 0.0;         ///< coupled-constraint value at equilibrium.
+
+  std::vector<IterationRecord> trace;
+  std::vector<FrontierPoint> frontier;  ///< full grid under the final weights.
+  DeviationCertificate certificate;
+  OscillationDiagnostic oscillation;
+
+  /// Service counters at the end of the run (cache hit rate, solves,
+  /// coalesced — the memoization evidence).
+  service::ServiceStats service;
+  [[nodiscard]] double cache_hit_rate() const noexcept { return service.cache.hit_rate(); }
+};
+
+/// Alternating-best-response solver.  Owns an EvalService over the spec's
+/// scenario so every inner evaluation rides the content-hashed cache; the
+/// service (and through it the Session) stays inspectable after solve() for
+/// the memoization assertions.
+class BestResponseSolver {
+ public:
+  /// Validates the spec and builds the strategy spaces: per-design HARM path
+  /// classes under the scenario's enumeration cap, the canonical class
+  /// universe, deployment costs, and cadence window factors.
+  explicit BestResponseSolver(GameSpec spec, service::ServiceOptions options = {});
+
+  /// Run Gauss-Seidel to a fixed point (or the round budget) and certify the
+  /// result.  Deterministic for a fixed spec: independent of the service's
+  /// worker count and repeatable across runs.
+  [[nodiscard]] EquilibriumResult solve();
+
+  [[nodiscard]] const GameSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const service::EvalService& service() const noexcept { return service_; }
+  /// Canonical class universe (union over the design grid, sorted by
+  /// signature).  Attacker weights index into this.
+  [[nodiscard]] const std::vector<std::string>& class_names() const noexcept {
+    return class_names_;
+  }
+
+ private:
+  struct CellScore {
+    double coa = 0.0;
+    double attack_impact = 0.0;
+    double attack_success = 0.0;
+  };
+
+  /// Sweep the whole grid through the service (one submit per cell, futures
+  /// drained in submission order) into scores_.
+  void sweep_grid();
+  [[nodiscard]] double exposure_of(std::size_t design_index, std::size_t cadence_index,
+                                   const std::vector<double>& weights) const;
+  [[nodiscard]] double attacker_value(std::size_t design_index, std::size_t cadence_index,
+                                      const std::vector<double>& weights) const;
+  /// Per-class attacker utilities at a defender cell.
+  [[nodiscard]] std::vector<double> utilities_at(std::size_t design_index,
+                                                 std::size_t cadence_index) const;
+  /// Exact greedy maximizer of a linear objective over the capped simplex.
+  [[nodiscard]] std::vector<double> attacker_best_response(
+      const std::vector<double>& utilities) const;
+  [[nodiscard]] DefenderStrategy defender_best_response(const std::vector<double>& weights,
+                                                        const DefenderStrategy* incumbent,
+                                                        bool randomized_ties,
+                                                        std::uint64_t draw_salt,
+                                                        bool* feasible) const;
+  [[nodiscard]] DeviationCertificate certify(const DefenderStrategy& defender,
+                                             const std::vector<double>& weights) const;
+  void build_frontier(EquilibriumResult& result) const;
+
+  GameSpec spec_;
+  service::EvalService service_;
+
+  std::size_t num_designs_ = 0;
+  std::size_t num_cadences_ = 0;
+  std::vector<std::string> class_names_;      ///< canonical universe (size C).
+  std::vector<std::vector<double>> success_;  ///< [design][class] success probability.
+  /// [design][class] impact_weight * impact/impact_max + (1 - impact_weight)
+  /// * success — the cadence-independent factor of the attacker utility.
+  std::vector<std::vector<double>> util_base_;
+  std::vector<double> cost_;                  ///< [design] deployment cost.
+  std::vector<double> window_;                ///< [cadence] cadence / max cadence.
+  double impact_max_ = 0.0;                   ///< normalizer of the AIM payoff term.
+  std::vector<CellScore> scores_;             ///< [design * num_cadences_ + cadence].
+};
+
+}  // namespace patchsec::game

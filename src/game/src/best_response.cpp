@@ -1,0 +1,483 @@
+#include "patchsec/game/best_response.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <future>
+#include <map>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "patchsec/enterprise/network.hpp"
+#include "patchsec/service/request_hash.hpp"
+
+namespace patchsec::game {
+
+namespace {
+
+/// Feasibility slack: constraint checks tolerate this much numerical noise
+/// so a cell sitting exactly on a bound is not flipped by rounding.
+constexpr double kFeasibilitySlack = 1e-9;
+/// Below this a weight counts as unallocated for the certificate's
+/// exchange/slack tests.
+constexpr double kMassEpsilon = 1e-12;
+
+const core::Scenario& validated_scenario(const GameSpec& spec) {
+  spec.validate();
+  return spec.scenario;
+}
+
+/// "web2" -> "web": the role label of an enterprise HARM node (NetworkModel
+/// names instances lower-cased role + 1-based index).
+std::string role_label(const std::string& node_name) {
+  std::size_t end = node_name.size();
+  while (end > 0 && std::isdigit(static_cast<unsigned char>(node_name[end - 1])) != 0) --end;
+  return node_name.substr(0, end);
+}
+
+std::string join_signature(const std::vector<std::string>& signature) {
+  std::string name;
+  for (const std::string& label : signature) {
+    if (!name.empty()) name += '-';
+    name += label;
+  }
+  return name;
+}
+
+/// splitmix64: the deterministic draw behind randomized tie-breaking.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Exact-bits hash of a Gauss-Seidel state (defender cell + attacker
+/// weights) for cycle detection.
+std::uint64_t state_hash(const DefenderStrategy& defender, const std::vector<double>& weights) {
+  service::HashStream h;
+  h.u64(defender.design_index);
+  h.u64(defender.cadence_index);
+  h.u64(weights.size());
+  for (double w : weights) h.f64(w);
+  return h.digest();
+}
+
+}  // namespace
+
+BestResponseSolver::BestResponseSolver(GameSpec spec, service::ServiceOptions options)
+    : spec_(std::move(spec)), service_(validated_scenario(spec_), options) {
+  const std::vector<enterprise::RedundancyDesign>& designs = spec_.scenario.designs();
+  const std::vector<double>& cadences = spec_.scenario.patch_intervals();
+  num_designs_ = designs.size();
+  num_cadences_ = cadences.size();
+
+  cost_.resize(num_designs_);
+  for (std::size_t i = 0; i < num_designs_; ++i) {
+    double cost = 0.0;
+    for (unsigned r = 0; r < enterprise::kRoleCount; ++r) {
+      cost += static_cast<double>(designs[i].counts[r]) * spec_.defender.server_cost[r];
+    }
+    cost_[i] = cost;
+  }
+
+  const double max_cadence = *std::max_element(cadences.begin(), cadences.end());
+  window_.resize(num_cadences_);
+  for (std::size_t j = 0; j < num_cadences_; ++j) window_[j] = cadences[j] / max_cadence;
+
+  // Attacker strategy space: the canonical class universe is the union of
+  // every design's classes (identical across designs for any fixed policy,
+  // but the union keeps degenerate designs — an empty tier removes a role
+  // sequence — well-defined), sorted by signature.
+  std::vector<std::vector<harm::PathClass>> per_design(num_designs_);
+  std::set<std::vector<std::string>> signatures;
+  for (std::size_t i = 0; i < num_designs_; ++i) {
+    const harm::Harm model =
+        enterprise::NetworkModel(designs[i], spec_.scenario.specs(), spec_.scenario.policy())
+            .build_harm();
+    per_design[i] = harm::aggregate_path_classes(
+        model,
+        [&model](harm::GraphNodeId id) { return role_label(model.graph().name(id)); },
+        spec_.scenario.engine().harm_paths);
+    for (const harm::PathClass& cls : per_design[i]) signatures.insert(cls.signature);
+  }
+  std::map<std::vector<std::string>, std::size_t> index;
+  for (const std::vector<std::string>& signature : signatures) {
+    index.emplace(signature, class_names_.size());
+    class_names_.push_back(join_signature(signature));
+  }
+
+  const std::size_t num_classes = class_names_.size();
+  impact_max_ = 0.0;
+  for (std::size_t i = 0; i < num_designs_; ++i) {
+    for (const harm::PathClass& cls : per_design[i]) {
+      impact_max_ = std::max(impact_max_, cls.max_impact);
+    }
+  }
+  success_.assign(num_designs_, std::vector<double>(num_classes, 0.0));
+  util_base_.assign(num_designs_, std::vector<double>(num_classes, 0.0));
+  const double alpha = spec_.payoff.impact_weight;
+  for (std::size_t i = 0; i < num_designs_; ++i) {
+    for (const harm::PathClass& cls : per_design[i]) {
+      const std::size_t c = index.at(cls.signature);
+      success_[i][c] = cls.success_probability;
+      const double impact_share = impact_max_ > 0.0 ? cls.max_impact / impact_max_ : 0.0;
+      util_base_[i][c] = alpha * impact_share + (1.0 - alpha) * cls.success_probability;
+    }
+  }
+  scores_.assign(num_designs_ * num_cadences_, CellScore{});
+}
+
+void BestResponseSolver::sweep_grid() {
+  const std::vector<enterprise::RedundancyDesign>& designs = spec_.scenario.designs();
+  const std::vector<double>& cadences = spec_.scenario.patch_intervals();
+  // Submit every cell, drain in submission order: the reply order (and with
+  // it every downstream number) is independent of the worker count.
+  std::vector<std::future<service::ServiceReply>> futures;
+  futures.reserve(scores_.size());
+  for (std::size_t i = 0; i < num_designs_; ++i) {
+    for (std::size_t j = 0; j < num_cadences_; ++j) {
+      service::EvalRequest request;
+      request.design = designs[i];
+      request.patch_interval_hours = cadences[j];
+      request.kind = service::RequestKind::kSteady;
+      futures.push_back(service_.submit(std::move(request)));
+    }
+  }
+  for (std::size_t cell = 0; cell < futures.size(); ++cell) {
+    const service::ServiceReply reply = futures[cell].get();
+    scores_[cell] = CellScore{reply.report.coa, reply.report.before_patch.attack_impact,
+                              reply.report.before_patch.attack_success_probability};
+  }
+}
+
+double BestResponseSolver::exposure_of(std::size_t design_index, std::size_t cadence_index,
+                                       const std::vector<double>& weights) const {
+  double exposure = 0.0;
+  for (std::size_t c = 0; c < weights.size(); ++c) {
+    exposure += weights[c] * success_[design_index][c];
+  }
+  return window_[cadence_index] * exposure;
+}
+
+std::vector<double> BestResponseSolver::utilities_at(std::size_t design_index,
+                                                     std::size_t cadence_index) const {
+  std::vector<double> utilities(class_names_.size());
+  for (std::size_t c = 0; c < utilities.size(); ++c) {
+    utilities[c] = window_[cadence_index] * util_base_[design_index][c];
+  }
+  return utilities;
+}
+
+double BestResponseSolver::attacker_value(std::size_t design_index, std::size_t cadence_index,
+                                          const std::vector<double>& weights) const {
+  double value = 0.0;
+  for (std::size_t c = 0; c < weights.size(); ++c) {
+    value += weights[c] * window_[cadence_index] * util_base_[design_index][c];
+  }
+  return value;
+}
+
+std::vector<double> BestResponseSolver::attacker_best_response(
+    const std::vector<double>& utilities) const {
+  // Linear objective over { 0 <= w_c <= cap, sum w_c <= budget }: fill caps
+  // in descending utility until the budget runs out.  Greedy is exact here;
+  // ties resolve by canonical class order (stable sort on a stable key).
+  std::vector<std::size_t> order(utilities.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&utilities](std::size_t a, std::size_t b) {
+    return utilities[a] > utilities[b];
+  });
+  std::vector<double> weights(utilities.size(), 0.0);
+  double remaining = spec_.attacker.effort_budget;
+  for (std::size_t c : order) {
+    if (!(utilities[c] > 0.0) || remaining <= 0.0) break;  // zero utility earns nothing.
+    const double take = std::min(spec_.attacker.per_path_cap, remaining);
+    weights[c] = take;
+    remaining -= take;
+  }
+  return weights;
+}
+
+DefenderStrategy BestResponseSolver::defender_best_response(const std::vector<double>& weights,
+                                                            const DefenderStrategy* incumbent,
+                                                            bool randomized_ties,
+                                                            std::uint64_t draw_salt,
+                                                            bool* feasible) const {
+  // Pass 1: best feasible COA.
+  double best_coa = -1.0;
+  bool any_feasible = false;
+  for (std::size_t i = 0; i < num_designs_; ++i) {
+    if (cost_[i] > spec_.defender.cost_budget + kFeasibilitySlack) continue;
+    for (std::size_t j = 0; j < num_cadences_; ++j) {
+      if (exposure_of(i, j, weights) > spec_.defender.exposure_bound + kFeasibilitySlack) continue;
+      any_feasible = true;
+      best_coa = std::max(best_coa, scores_[i * num_cadences_ + j].coa);
+    }
+  }
+  if (feasible != nullptr) *feasible = any_feasible;
+
+  if (!any_feasible) {
+    // Fallback: park on the minimum-exposure cell (among cost-feasible cells
+    // when any exist) so the trace stays meaningful; the round is flagged.
+    DefenderStrategy parked;
+    double least = std::numeric_limits<double>::infinity();
+    for (int cost_pass = 0; cost_pass < 2; ++cost_pass) {
+      for (std::size_t i = 0; i < num_designs_; ++i) {
+        const bool cost_ok = cost_[i] <= spec_.defender.cost_budget + kFeasibilitySlack;
+        if (cost_pass == 0 && !cost_ok) continue;
+        for (std::size_t j = 0; j < num_cadences_; ++j) {
+          const double exposure = exposure_of(i, j, weights);
+          if (exposure < least) {
+            least = exposure;
+            parked = DefenderStrategy{i, j};
+          }
+        }
+      }
+      if (std::isfinite(least)) break;  // the cost-feasible pass found a cell.
+    }
+    return parked;
+  }
+
+  // Pass 2: the tie pool — every feasible cell within tie_epsilon of the
+  // optimum, in lexicographic (i, j) order.
+  std::vector<DefenderStrategy> pool;
+  for (std::size_t i = 0; i < num_designs_; ++i) {
+    if (cost_[i] > spec_.defender.cost_budget + kFeasibilitySlack) continue;
+    for (std::size_t j = 0; j < num_cadences_; ++j) {
+      if (exposure_of(i, j, weights) > spec_.defender.exposure_bound + kFeasibilitySlack) continue;
+      if (scores_[i * num_cadences_ + j].coa >= best_coa - spec_.tie_epsilon) {
+        pool.push_back(DefenderStrategy{i, j});
+      }
+    }
+  }
+  // The incumbent wins its ties (stabilizes fixed points under oscillating
+  // attacker weights); otherwise lexicographic, or a seeded draw once the
+  // cycle detector escalated to randomized tie-breaking.
+  if (incumbent != nullptr &&
+      std::find(pool.begin(), pool.end(), *incumbent) != pool.end()) {
+    return *incumbent;
+  }
+  if (randomized_ties && pool.size() > 1) {
+    return pool[static_cast<std::size_t>(mix(spec_.seed ^ mix(draw_salt)) % pool.size())];
+  }
+  return pool.front();
+}
+
+EquilibriumResult BestResponseSolver::solve() {
+  const std::vector<enterprise::RedundancyDesign>& designs = spec_.scenario.designs();
+  const std::vector<double>& cadences = spec_.scenario.patch_intervals();
+  const std::size_t num_classes = class_names_.size();
+
+  EquilibriumResult result;
+  result.class_names = class_names_;
+
+  // Initial attacker strategy: uniform spread respecting the per-class cap
+  // (deterministic, and maximally uncommitted before any best response).
+  std::vector<double> weights(num_classes, 0.0);
+  if (num_classes > 0) {
+    weights.assign(num_classes, std::min(spec_.attacker.per_path_cap,
+                                         spec_.attacker.effort_budget /
+                                             static_cast<double>(num_classes)));
+  }
+
+  DefenderStrategy defender;
+  bool have_defender = false;
+  bool damping_on = false;
+  bool randomized_ties = false;
+  bool converged = false;
+  std::map<std::uint64_t, std::size_t> visited;  // state hash -> round.
+  std::vector<DefenderStrategy> history;         // defender cell per round.
+
+  std::size_t round = 0;
+  while (round < spec_.max_iterations) {
+    ++round;
+    sweep_grid();
+
+    bool feasible = true;
+    const DefenderStrategy next =
+        defender_best_response(weights, have_defender ? &defender : nullptr, randomized_ties,
+                               static_cast<std::uint64_t>(round), &feasible);
+
+    const std::vector<double> response = attacker_best_response(
+        utilities_at(next.design_index, next.cadence_index));
+    std::vector<double> stepped(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      stepped[c] = damping_on
+                       ? (1.0 - spec_.damping) * weights[c] + spec_.damping * response[c]
+                       : response[c];
+    }
+    double shift = 0.0;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      shift = std::max(shift, std::abs(stepped[c] - weights[c]));
+    }
+    const bool changed = !have_defender || !(next == defender);
+
+    IterationRecord record;
+    record.iteration = round;
+    record.defender = next;
+    record.defender_payoff = scores_[next.design_index * num_cadences_ + next.cadence_index].coa;
+    record.attacker_payoff = attacker_value(next.design_index, next.cadence_index, stepped);
+    record.exposure = exposure_of(next.design_index, next.cadence_index, stepped);
+    record.defender_feasible = feasible;
+    record.defender_changed = changed;
+    record.attacker_shift = shift;
+    record.damped = damping_on;
+    result.trace.push_back(record);
+    history.push_back(next);
+
+    // A stable state only counts as an equilibrium when the defender step
+    // was a genuine (feasible) best response — a parked min-exposure
+    // fallback can be stable without being an equilibrium.
+    const bool fixed_point =
+        have_defender && feasible && !changed && shift <= spec_.weight_tolerance;
+    defender = next;
+    weights = std::move(stepped);
+    have_defender = true;
+    if (fixed_point) {
+      converged = true;
+      break;
+    }
+
+    // Cycle detection on the post-round state; escalation ladder: damping,
+    // then seeded randomized tie-breaking, then give up with the diagnostic.
+    const std::uint64_t key = state_hash(defender, weights);
+    const auto [it, inserted] = visited.emplace(key, round);
+    if (!inserted) {
+      result.oscillation.cycle_detected = true;
+      if (result.oscillation.first_cycle_iteration == 0) {
+        result.oscillation.first_cycle_iteration = round;
+        result.oscillation.cycle_length = round - it->second;
+        result.oscillation.cycle_states.assign(
+            history.begin() + static_cast<std::ptrdiff_t>(it->second), history.end());
+      }
+      if (!damping_on) {
+        damping_on = true;
+        result.oscillation.damping_engaged = true;
+      } else if (!randomized_ties) {
+        randomized_ties = true;
+        result.oscillation.randomized_ties_engaged = true;
+      } else {
+        break;  // both escalations exhausted: report the cycle, don't loop.
+      }
+      visited.clear();
+      visited.emplace(key, round);
+    }
+  }
+
+  result.converged = converged;
+  result.iterations = round;
+  result.defender = defender;
+  result.design = designs[defender.design_index];
+  result.cadence_hours = cadences[defender.cadence_index];
+  result.attacker.weights = weights;
+  result.defender_payoff =
+      scores_[defender.design_index * num_cadences_ + defender.cadence_index].coa;
+  result.attacker_payoff =
+      attacker_value(defender.design_index, defender.cadence_index, weights);
+  result.exposure = exposure_of(defender.design_index, defender.cadence_index, weights);
+  if (converged) {
+    result.certificate = certify(defender, weights);
+  }
+  build_frontier(result);
+  result.service = service_.stats();
+  return result;
+}
+
+DeviationCertificate BestResponseSolver::certify(const DefenderStrategy& defender,
+                                                 const std::vector<double>& weights) const {
+  DeviationCertificate cert;
+  const double eps = spec_.certificate_epsilon;
+
+  // Defender check: replay the feasibility filter over the whole grid and
+  // bound the best feasible COA gain.  The held cell must itself be feasible
+  // (a min-exposure fallback never certifies).
+  const double held_coa =
+      scores_[defender.design_index * num_cadences_ + defender.cadence_index].coa;
+  const bool held_feasible =
+      cost_[defender.design_index] <= spec_.defender.cost_budget + kFeasibilitySlack &&
+      exposure_of(defender.design_index, defender.cadence_index, weights) <=
+          spec_.defender.exposure_bound + kFeasibilitySlack;
+  double best_gain = 0.0;
+  for (std::size_t i = 0; i < num_designs_; ++i) {
+    if (cost_[i] > spec_.defender.cost_budget + kFeasibilitySlack) continue;
+    for (std::size_t j = 0; j < num_cadences_; ++j) {
+      ++cert.defender_strategies_checked;
+      if (exposure_of(i, j, weights) > spec_.defender.exposure_bound + kFeasibilitySlack) continue;
+      best_gain = std::max(best_gain, scores_[i * num_cadences_ + j].coa - held_coa);
+    }
+  }
+  cert.defender_best_gain = best_gain;
+  cert.defender_ok = held_feasible && best_gain <= eps;
+
+  // Attacker check 1: a fresh greedy optimum must not beat the held weights.
+  const std::vector<double> utilities =
+      utilities_at(defender.design_index, defender.cadence_index);
+  const std::vector<double> optimum = attacker_best_response(utilities);
+  double held_value = 0.0;
+  double optimum_value = 0.0;
+  for (std::size_t c = 0; c < utilities.size(); ++c) {
+    held_value += weights[c] * utilities[c];
+    optimum_value += optimum[c] * utilities[c];
+  }
+  cert.attacker_best_gain = optimum_value - held_value;
+
+  // Attacker check 2 (exchange/slack KKT argument): no unit of effort can be
+  // moved — between classes, or out of the unspent budget — at a positive
+  // utility rate.
+  double exchange = 0.0;
+  double mass = 0.0;
+  for (double w : weights) mass += w;
+  for (std::size_t a = 0; a < weights.size(); ++a) {
+    if (weights[a] <= kMassEpsilon) continue;
+    for (std::size_t b = 0; b < weights.size(); ++b) {
+      if (b == a || weights[b] >= spec_.attacker.per_path_cap - kMassEpsilon) continue;
+      ++cert.attacker_transfers_checked;
+      exchange = std::max(exchange, utilities[b] - utilities[a]);
+    }
+  }
+  if (mass < spec_.attacker.effort_budget - kMassEpsilon) {
+    for (std::size_t b = 0; b < weights.size(); ++b) {
+      if (weights[b] >= spec_.attacker.per_path_cap - kMassEpsilon) continue;
+      ++cert.attacker_transfers_checked;
+      exchange = std::max(exchange, utilities[b]);
+    }
+  }
+  cert.attacker_exchange_gain = std::max(0.0, exchange);
+  cert.attacker_ok = cert.attacker_best_gain <= eps && cert.attacker_exchange_gain <= eps;
+
+  cert.verified = cert.defender_ok && cert.attacker_ok;
+  return cert;
+}
+
+void BestResponseSolver::build_frontier(EquilibriumResult& result) const {
+  const std::vector<enterprise::RedundancyDesign>& designs = spec_.scenario.designs();
+  const std::vector<double>& cadences = spec_.scenario.patch_intervals();
+  result.frontier.clear();
+  result.frontier.reserve(scores_.size());
+  for (std::size_t i = 0; i < num_designs_; ++i) {
+    for (std::size_t j = 0; j < num_cadences_; ++j) {
+      const CellScore& score = scores_[i * num_cadences_ + j];
+      FrontierPoint point;
+      point.design_index = i;
+      point.cadence_index = j;
+      point.design_name = designs[i].name();
+      point.cadence_hours = cadences[j];
+      point.coa = score.coa;
+      point.attack_impact = score.attack_impact;
+      point.attack_success = score.attack_success;
+      point.deployment_cost = cost_[i];
+      point.exposure = exposure_of(i, j, result.attacker.weights);
+      point.attacker_payoff = attacker_value(i, j, result.attacker.weights);
+      point.cost_feasible = cost_[i] <= spec_.defender.cost_budget + kFeasibilitySlack;
+      point.exposure_feasible =
+          point.exposure <= spec_.defender.exposure_bound + kFeasibilitySlack;
+      point.equilibrium = result.converged && DefenderStrategy{i, j} == result.defender;
+      result.frontier.push_back(std::move(point));
+    }
+  }
+}
+
+}  // namespace patchsec::game

@@ -11,6 +11,32 @@ namespace patchsec::harm {
 
 using GraphNodeId = std::size_t;
 
+/// How simple-path enumeration treats the `max_paths` cap.
+///
+/// The number of simple attacker->target paths grows with the product of the
+/// tier sizes: under the paper's 3-tier policy a uniform k-per-tier design
+/// has k_dns*k_web*k_app*k_db + k_web*k_app*k_db ~ k^4 + k^3 paths (every
+/// instance combination along each role sequence is its own simple path), so
+/// a k = 50 fleet already exceeds six million paths.  The cap bounds the
+/// *materialized* paths; `truncate` picks what happens beyond it.
+struct PathEnumerationOptions {
+  /// Materialized-path bound.  With `truncate == false` exceeding it throws
+  /// std::runtime_error (the historical behaviour); with `truncate == true`
+  /// enumeration keeps only the first `max_paths` paths in DFS order and
+  /// *counts* the remainder instead of storing them — time still grows with
+  /// the total path count, but memory and downstream metric cost are capped
+  /// and the truncation is observable, never silent.
+  std::size_t max_paths = 1'000'000;
+  bool truncate = false;
+};
+
+/// Diagnostics of one enumeration: how many simple paths exist and how many
+/// were dropped by the cap (materialized = enumerated - truncated).
+struct PathEnumerationStats {
+  std::size_t enumerated = 0;  ///< total simple paths found by the DFS.
+  std::size_t truncated = 0;   ///< paths counted but not materialized.
+};
+
 /// Directed graph with one distinguished attacker node and one or more
 /// target nodes.  Node identity is by index; names are for reporting.
 class AttackGraph {
@@ -39,6 +65,14 @@ class AttackGraph {
   /// Throws std::runtime_error if more than `max_paths` exist.
   [[nodiscard]] std::vector<std::vector<GraphNodeId>> enumerate_attack_paths(
       const std::vector<bool>& attackable, std::size_t max_paths = 1'000'000) const;
+
+  /// As above with an explicit cap policy: with `options.truncate` the first
+  /// `options.max_paths` paths (DFS order) are materialized and the rest are
+  /// counted into `stats` instead of throwing.  `stats` (optional) receives
+  /// the exact totals either way.
+  [[nodiscard]] std::vector<std::vector<GraphNodeId>> enumerate_attack_paths(
+      const std::vector<bool>& attackable, const PathEnumerationOptions& options,
+      PathEnumerationStats* stats) const;
 
  private:
   std::vector<std::string> names_;

@@ -21,6 +21,12 @@ struct SecurityMetrics {
   std::size_t exploitable_vulnerabilities = 0;  ///< NoEV: summed over all servers.
   std::size_t attack_paths = 0;                 ///< NoAP: simple attacker->target paths.
   std::size_t entry_points = 0;  ///< NoEP: distinct first hops over all attack paths.
+  /// Simple paths the enumeration cap dropped (PathEnumerationOptions with
+  /// truncate): 0 means the metrics above are exact; a positive count means
+  /// AIM/ASP/NoAP/NoEP are computed from the first `attack_paths` paths in
+  /// DFS order and are lower bounds (AIM/ASP never decrease with more
+  /// paths).  The total simple-path count is attack_paths + truncated_paths.
+  std::size_t truncated_paths = 0;
 };
 
 /// One attack path with its per-path metric values (Sec. III-C example:
@@ -52,10 +58,20 @@ class Harm {
   /// All attack paths with per-path metrics.
   [[nodiscard]] std::vector<AttackPath> attack_paths() const;
 
+  /// Attack paths under an explicit enumeration cap policy; `stats`
+  /// (optional) receives the exact enumerated/truncated totals.
+  [[nodiscard]] std::vector<AttackPath> attack_paths(const PathEnumerationOptions& options,
+                                                     PathEnumerationStats* stats = nullptr) const;
+
   /// Network-level metrics.  A HARM with no attack path reports AIM = 0 and
   /// ASP = 0 (nothing reaches the target) while NoEV still counts leftover
   /// exploitable vulnerabilities on all servers.
   [[nodiscard]] SecurityMetrics evaluate() const;
+
+  /// Network-level metrics under an explicit enumeration cap policy: with
+  /// `options.truncate` a cap overflow lands in `truncated_paths` (the
+  /// metrics become documented lower bounds) instead of throwing.
+  [[nodiscard]] SecurityMetrics evaluate(const PathEnumerationOptions& options) const;
 
   /// Patch transformation: prune every vulnerability satisfying `patched`
   /// from every tree.  Servers whose tree becomes infeasible stay in the

@@ -49,6 +49,12 @@ GraphNodeId AttackGraph::node(const std::string& name) const {
 
 std::vector<std::vector<GraphNodeId>> AttackGraph::enumerate_attack_paths(
     const std::vector<bool>& attackable, std::size_t max_paths) const {
+  return enumerate_attack_paths(attackable, PathEnumerationOptions{max_paths, false}, nullptr);
+}
+
+std::vector<std::vector<GraphNodeId>> AttackGraph::enumerate_attack_paths(
+    const std::vector<bool>& attackable, const PathEnumerationOptions& options,
+    PathEnumerationStats* stats) const {
   if (attackable.size() != node_count()) {
     throw std::invalid_argument("enumerate_attack_paths: attackable mask size mismatch");
   }
@@ -60,11 +66,20 @@ std::vector<std::vector<GraphNodeId>> AttackGraph::enumerate_attack_paths(
   std::vector<std::vector<GraphNodeId>> paths;
   std::vector<GraphNodeId> current;
   std::vector<bool> on_path(node_count(), false);
+  PathEnumerationStats local;
 
   const std::function<void(GraphNodeId)> dfs = [&](GraphNodeId n) {
     if (is_target[n]) {
-      if (paths.size() >= max_paths) {
-        throw std::runtime_error("attack path enumeration exceeded max_paths");
+      ++local.enumerated;
+      if (paths.size() >= options.max_paths) {
+        if (!options.truncate) {
+          throw std::runtime_error("attack path enumeration exceeded max_paths");
+        }
+        // Beyond the cap the DFS keeps walking (exact totals for the
+        // diagnostics) but stops materializing — time still grows with the
+        // path count, memory does not.
+        ++local.truncated;
+        return;
       }
       paths.push_back(current);
       // Targets are endpoints: the paper's paths stop at the first database
@@ -83,6 +98,7 @@ std::vector<std::vector<GraphNodeId>> AttackGraph::enumerate_attack_paths(
 
   on_path[start] = true;
   dfs(start);
+  if (stats != nullptr) *stats = local;
   return paths;
 }
 

@@ -31,11 +31,16 @@ double Harm::node_probability(GraphNodeId node) const {
 }
 
 std::vector<AttackPath> Harm::attack_paths() const {
+  return attack_paths(PathEnumerationOptions{}, nullptr);
+}
+
+std::vector<AttackPath> Harm::attack_paths(const PathEnumerationOptions& options,
+                                           PathEnumerationStats* stats) const {
   std::vector<bool> mask(graph_.node_count(), false);
   for (GraphNodeId n = 0; n < graph_.node_count(); ++n) mask[n] = attackable(n);
 
   std::vector<AttackPath> out;
-  for (std::vector<GraphNodeId>& nodes : graph_.enumerate_attack_paths(mask)) {
+  for (std::vector<GraphNodeId>& nodes : graph_.enumerate_attack_paths(mask, options, stats)) {
     AttackPath path;
     path.impact = 0.0;
     path.probability = 1.0;
@@ -49,10 +54,14 @@ std::vector<AttackPath> Harm::attack_paths() const {
   return out;
 }
 
-SecurityMetrics Harm::evaluate() const {
+SecurityMetrics Harm::evaluate() const { return evaluate(PathEnumerationOptions{}); }
+
+SecurityMetrics Harm::evaluate(const PathEnumerationOptions& options) const {
   SecurityMetrics m;
-  const std::vector<AttackPath> paths = attack_paths();
+  PathEnumerationStats stats;
+  const std::vector<AttackPath> paths = attack_paths(options, &stats);
   m.attack_paths = paths.size();
+  m.truncated_paths = stats.truncated;
 
   double miss_all = 1.0;  // prod (1 - asp_path)
   std::set<GraphNodeId> entries;

@@ -1,0 +1,61 @@
+#include "patchsec/harm/path_classes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace patchsec::harm {
+
+std::string PathClass::name() const {
+  std::string out;
+  for (std::size_t i = 0; i < signature.size(); ++i) {
+    if (i > 0) out += '-';
+    out += signature[i];
+  }
+  return out;
+}
+
+std::vector<PathClass> aggregate_path_classes(
+    const Harm& model, const std::function<std::string(GraphNodeId)>& label,
+    const PathEnumerationOptions& options, PathEnumerationStats* stats) {
+  if (!label) throw std::invalid_argument("aggregate_path_classes: null label function");
+
+  // Keyed on the signature, so insertion order is already the canonical
+  // (lexicographic) class order.
+  std::map<std::vector<std::string>, PathClass> classes;
+  for (const AttackPath& path : model.attack_paths(options, stats)) {
+    std::vector<std::string> signature;
+    signature.reserve(path.nodes.size());
+    for (GraphNodeId n : path.nodes) signature.push_back(label(n));
+
+    PathClass& cls = classes[signature];
+    if (cls.instance_paths == 0) cls.signature = signature;
+    ++cls.instance_paths;
+    cls.max_impact = std::max(cls.max_impact, path.impact);
+    // Accumulate the miss product as 1 - success so far (members are
+    // independent alternatives of one attack strategy).
+    cls.success_probability =
+        1.0 - (1.0 - cls.success_probability) * (1.0 - path.probability);
+    cls.total_risk += path.impact * path.probability;
+  }
+
+  std::vector<PathClass> out;
+  out.reserve(classes.size());
+  for (auto& [signature, cls] : classes) out.push_back(std::move(cls));
+  return out;
+}
+
+double weighted_exposure(const std::vector<PathClass>& classes,
+                         const std::vector<double>& weights) {
+  if (weights.size() != classes.size()) {
+    throw std::invalid_argument("weighted_exposure: one weight per class required");
+  }
+  double exposure = 0.0;
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    exposure += weights[c] * classes[c].success_probability;
+  }
+  return exposure;
+}
+
+}  // namespace patchsec::harm

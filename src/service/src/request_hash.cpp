@@ -135,6 +135,10 @@ void append_engine_options(HashStream& h, const core::EngineOptions& engine) {
   h.f64(engine.uniformization.epsilon);
   h.u64(engine.uniformization.max_terms);
   h.u8(static_cast<std::uint8_t>(engine.uniformization.kernel));
+  // HARM path-enumeration cap (truncation changes the security metrics —
+  // a capped report must never share a cache entry with an exact one).
+  h.u64(engine.harm_paths.max_paths);
+  h.u8(engine.harm_paths.truncate ? 1 : 0);
   // Verification (findings land in the report payload).
   h.u8(static_cast<std::uint8_t>(engine.verify));
   h.u64(engine.verify_options.max_intermediate_rows);

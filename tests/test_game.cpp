@@ -1,0 +1,239 @@
+// Game-layer tests: the hand-solvable 2x2 oracle equilibrium, the
+// deviation-check certificate under a seeded randomized spec sweep,
+// best-response memoization through the EvalService cache (T iterations pay
+// ~N+M lower-layer solves plus N*M cached upper-layer solves, not T*N*M),
+// determinism across runs and service worker counts, and spec validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "patchsec/game/best_response.hpp"
+
+namespace game = patchsec::game;
+namespace core = patchsec::core;
+namespace ent = patchsec::enterprise;
+namespace svc = patchsec::service;
+
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// The hand-solvable 2x2 game: designs {base, 2-APP} x cadences {360, 720}.
+///
+/// Solved by inspection:
+///  * window factors are 0.5 (360 h) and 1.0 (720 h); both path classes have
+///    before-patch success ~1, so exposure ~ window * (total effort).  With
+///    the bound at 0.6 and effort budget 1, the 720 h column is infeasible
+///    and the 360 h column is feasible no matter how the attacker splits.
+///  * among the feasible column the defender takes the COA maximizer: the
+///    2-APP design (COA 0.9929 > 0.9913).
+///  * the attacker fills the per-class cap 0.6 on the higher-utility class
+///    first: dns-web-app-db has the same success but strictly larger
+///    impact than web-app-db, so the split is exactly (0.6, 0.4).
+game::GameSpec oracle_2x2_spec() {
+  game::GameSpec spec;
+  spec.scenario = core::Scenario::paper_case_study()
+                      .with_designs({ent::RedundancyDesign{{1, 1, 1, 1}},
+                                     ent::RedundancyDesign{{1, 1, 2, 1}}})
+                      .with_patch_schedule({360.0, 720.0});
+  spec.defender.cost_budget = 5.0;
+  spec.defender.exposure_bound = 0.6;
+  spec.attacker.effort_budget = 1.0;
+  spec.attacker.per_path_cap = 0.6;
+  return spec;
+}
+
+bool equilibria_bit_identical(const game::EquilibriumResult& a,
+                              const game::EquilibriumResult& b) {
+  if (!(a.defender == b.defender) || a.converged != b.converged ||
+      a.iterations != b.iterations ||
+      a.attacker.weights.size() != b.attacker.weights.size()) {
+    return false;
+  }
+  for (std::size_t c = 0; c < a.attacker.weights.size(); ++c) {
+    if (!same_bits(a.attacker.weights[c], b.attacker.weights[c])) return false;
+  }
+  return same_bits(a.defender_payoff, b.defender_payoff) &&
+         same_bits(a.attacker_payoff, b.attacker_payoff) && same_bits(a.exposure, b.exposure);
+}
+
+std::uint64_t splitmix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t x = state;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t& state) {
+  return static_cast<double>(splitmix(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+TEST(Game, OracleEquilibrium2x2) {
+  game::BestResponseSolver solver(oracle_2x2_spec());
+  const game::EquilibriumResult result = solver.solve();
+
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.defender.design_index, 1u);  // the 2-APP design...
+  EXPECT_EQ(result.defender.cadence_index, 0u); // ...at the 360 h cadence.
+  EXPECT_DOUBLE_EQ(result.cadence_hours, 360.0);
+
+  ASSERT_EQ(result.class_names.size(), 2u);
+  EXPECT_EQ(result.class_names[0], "dns-web-app-db");
+  EXPECT_EQ(result.class_names[1], "web-app-db");
+  EXPECT_NEAR(result.attacker.weights[0], 0.6, 1e-12);
+  EXPECT_NEAR(result.attacker.weights[1], 0.4, 1e-12);
+
+  // The certificate is verified, not assumed: both deviation bounds hold
+  // and every grid cell was actually checked.
+  EXPECT_TRUE(result.certificate.verified);
+  EXPECT_TRUE(result.certificate.defender_ok);
+  EXPECT_TRUE(result.certificate.attacker_ok);
+  EXPECT_LE(result.certificate.defender_best_gain, 1e-9);
+  EXPECT_LE(result.certificate.attacker_best_gain, 1e-9);
+  EXPECT_EQ(result.certificate.defender_strategies_checked, 4u);
+
+  // Frontier covers the grid; the infeasible 720 h column is marked.
+  ASSERT_EQ(result.frontier.size(), 4u);
+  for (const game::FrontierPoint& p : result.frontier) {
+    EXPECT_EQ(p.exposure_feasible, p.cadence_hours < 700.0);
+    EXPECT_EQ(p.equilibrium,
+              p.design_index == 1 && p.cadence_index == 0);
+  }
+}
+
+TEST(Game, CertificateHoldsOnEveryConvergedRunOfSeededSweep) {
+  // 12 seeded random specs over the paper designs: random exposure bounds,
+  // caps, payoff mixes and budgets.  Every converged run must carry a fully
+  // verified deviation-check certificate; non-converged runs must surface a
+  // bounded trace instead of looping.
+  std::uint64_t state = 0xA5A5F00DDEADBEEFull;
+  std::size_t converged_runs = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    game::GameSpec spec;
+    spec.scenario = core::Scenario::paper_case_study().with_patch_schedule(
+        {168.0, 360.0, 720.0, 1440.0});
+    spec.defender.cost_budget = 4.0 + 2.0 * uniform01(state);
+    spec.defender.exposure_bound = 0.15 + 1.05 * uniform01(state);
+    spec.attacker.per_path_cap = 0.3 + 0.7 * uniform01(state);
+    spec.attacker.effort_budget = 0.5 + uniform01(state);
+    spec.payoff.impact_weight = uniform01(state);
+    spec.seed = splitmix(state);
+
+    game::BestResponseSolver solver(spec);
+    const game::EquilibriumResult result = solver.solve();
+    EXPECT_LE(result.iterations, spec.max_iterations);
+    EXPECT_EQ(result.frontier.size(),
+              spec.scenario.designs().size() * spec.scenario.patch_intervals().size());
+    if (result.converged) {
+      ++converged_runs;
+      EXPECT_TRUE(result.certificate.verified)
+          << "trial " << trial << ": converged without a verified certificate "
+          << "(defender gain " << result.certificate.defender_best_gain << ", attacker gain "
+          << result.certificate.attacker_best_gain << ")";
+    }
+  }
+  // The sweep must actually exercise the certificate path.
+  EXPECT_GE(converged_runs, 6u);
+}
+
+TEST(Game, BestResponseSweepsAreMemoizedNotResolved) {
+  // T Gauss-Seidel rounds over an N x M grid submit T*N*M evaluations but
+  // pay for at most N*M Session solves (the service cache returns the rest)
+  // and at most M * kRoleCount lower-layer aggregations (the Session
+  // memoizes per cadence) — the N+M structure of the sweep, not T*N*M.
+  const game::GameSpec spec = game::GameSpec::paper_case_study();
+  const std::size_t cells =
+      spec.scenario.designs().size() * spec.scenario.patch_intervals().size();
+
+  game::BestResponseSolver solver(spec);
+  const game::EquilibriumResult first = solver.solve();
+  const game::EquilibriumResult second = solver.solve();  // warm re-solve.
+  ASSERT_TRUE(first.converged);
+  ASSERT_TRUE(second.converged);
+
+  const std::size_t total_rounds = first.iterations + second.iterations;
+  ASSERT_GE(total_rounds, 3u);
+
+  const svc::ServiceStats stats = solver.service().stats();
+  EXPECT_EQ(stats.submitted, total_rounds * cells);
+  EXPECT_LE(stats.solves, cells);  // every re-sweep is served from the cache...
+  EXPECT_GE(stats.cache.hits, (total_rounds - 1) * cells);  // ...as cache hits.
+  EXPECT_GE(stats.cache.hit_rate(), 0.5);
+
+  const core::Session::WorkspaceCounters counters = solver.service().session().workspace_counters();
+  EXPECT_LE(counters.aggregation_solves,
+            spec.scenario.patch_intervals().size() * ent::kRoleCount);
+  EXPECT_LE(counters.availability_solves, cells);
+}
+
+TEST(Game, DeterministicAcrossRunsAndWorkerCounts) {
+  const game::GameSpec spec = game::GameSpec::paper_case_study();
+  svc::ServiceOptions solo;
+  solo.workers = 1;
+  svc::ServiceOptions pooled;
+  pooled.workers = 4;
+
+  game::BestResponseSolver a(spec, solo);
+  game::BestResponseSolver b(spec, solo);
+  game::BestResponseSolver c(spec, pooled);
+  const game::EquilibriumResult ra = a.solve();
+  const game::EquilibriumResult rb = b.solve();
+  const game::EquilibriumResult rc = c.solve();
+
+  ASSERT_TRUE(ra.converged);
+  EXPECT_TRUE(ra.certificate.verified);
+  EXPECT_TRUE(equilibria_bit_identical(ra, rb));
+  EXPECT_TRUE(equilibria_bit_identical(ra, rc));
+}
+
+TEST(Game, InfeasibleExposureBoundReportsNoEquilibrium) {
+  // A bound below the tightest achievable exposure leaves the defender with
+  // no feasible cell: the solver must terminate within the round budget,
+  // report converged = false, and flag the fallback rounds.
+  game::GameSpec spec = oracle_2x2_spec();
+  spec.defender.exposure_bound = 1e-6;
+  spec.max_iterations = 8;
+  game::BestResponseSolver solver(spec);
+  const game::EquilibriumResult result = solver.solve();
+  EXPECT_FALSE(result.converged);
+  EXPECT_FALSE(result.certificate.verified);
+  EXPECT_LE(result.iterations, spec.max_iterations);
+  ASSERT_FALSE(result.trace.empty());
+  for (const game::IterationRecord& rec : result.trace) {
+    EXPECT_FALSE(rec.defender_feasible);
+  }
+}
+
+TEST(Game, SpecValidationRejectsBadKnobs) {
+  const game::GameSpec good = game::GameSpec::paper_case_study();
+  EXPECT_NO_THROW(good.validate());
+
+  game::GameSpec spec = good;
+  spec.attacker.effort_budget = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = good;
+  spec.payoff.impact_weight = 1.5;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = good;
+  spec.damping = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = good;
+  spec.max_iterations = 1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+  spec = good;
+  spec.scenario = core::Scenario::paper_case_study().with_designs({});
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}

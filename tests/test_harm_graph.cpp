@@ -164,3 +164,42 @@ TEST(AttackGraph, MaxPathsBoundEnforced) {
   EXPECT_EQ(g.enumerate_attack_paths(mask).size(), 9u);
   EXPECT_THROW(g.enumerate_attack_paths(mask, 4), std::runtime_error);
 }
+
+TEST(AttackGraph, TruncatingCapMaterializesPrefixAndCountsRest) {
+  // The same 3x3 bipartite layers (9 paths), capped at 4 with truncation:
+  // the first 4 DFS paths come back and the other 5 are counted, not thrown.
+  hm::AttackGraph g;
+  const auto attacker = g.add_node("attacker");
+  std::vector<hm::GraphNodeId> layer1, layer2;
+  for (int i = 0; i < 3; ++i) layer1.push_back(g.add_node("x" + std::to_string(i)));
+  for (int i = 0; i < 3; ++i) layer2.push_back(g.add_node("y" + std::to_string(i)));
+  const auto target = g.add_node("t");
+  g.set_attacker(attacker);
+  g.add_target(target);
+  for (auto x : layer1) {
+    g.add_edge(attacker, x);
+    for (auto y : layer2) g.add_edge(x, y);
+  }
+  for (auto y : layer2) g.add_edge(y, target);
+  const std::vector<bool> mask(g.node_count(), true);
+
+  hm::PathEnumerationStats stats;
+  const auto paths =
+      g.enumerate_attack_paths(mask, hm::PathEnumerationOptions{4, true}, &stats);
+  EXPECT_EQ(paths.size(), 4u);
+  EXPECT_EQ(stats.enumerated, 9u);
+  EXPECT_EQ(stats.truncated, 5u);
+
+  // The materialized prefix is the same DFS prefix an uncapped walk yields.
+  const auto all = g.enumerate_attack_paths(mask);
+  for (std::size_t i = 0; i < paths.size(); ++i) EXPECT_EQ(paths[i], all[i]);
+
+  // A non-truncating cap still throws (the historical contract), and an
+  // uncapped walk reports zero truncation.
+  EXPECT_THROW(g.enumerate_attack_paths(mask, hm::PathEnumerationOptions{4, false}, &stats),
+               std::runtime_error);
+  hm::PathEnumerationStats exact;
+  (void)g.enumerate_attack_paths(mask, hm::PathEnumerationOptions{}, &exact);
+  EXPECT_EQ(exact.enumerated, 9u);
+  EXPECT_EQ(exact.truncated, 0u);
+}

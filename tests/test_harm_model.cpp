@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "patchsec/enterprise/network.hpp"
 #include "patchsec/harm/harm.hpp"
+#include "patchsec/harm/path_classes.hpp"
 
 namespace hm = patchsec::harm;
 namespace ent = patchsec::enterprise;
@@ -198,4 +202,63 @@ TEST_F(ExampleNetworkHarm, PatchImprovesEveryMetric) {
   EXPECT_LT(a.exploitable_vulnerabilities, b.exploitable_vulnerabilities);
   EXPECT_LT(a.attack_paths, b.attack_paths);
   EXPECT_LT(a.entry_points, b.entry_points);
+}
+
+TEST(Harm, TruncatedEvaluationIsObservableLowerBound) {
+  // Example network (1 DNS + 2 WEB + 2 APP + 1 DB): 2*2 + 2*2 = 8 paths.
+  const hm::Harm model = ent::example_network().build_harm();
+  const hm::SecurityMetrics exact = model.evaluate();
+  ASSERT_EQ(exact.attack_paths, 8u);
+  EXPECT_EQ(exact.truncated_paths, 0u);
+
+  const hm::SecurityMetrics capped = model.evaluate(hm::PathEnumerationOptions{3, true});
+  EXPECT_EQ(capped.attack_paths, 3u);
+  EXPECT_EQ(capped.truncated_paths, 5u);  // exact total stays observable: 3 + 5 = 8.
+  // AIM/ASP never decrease with more paths: the capped values are lower bounds.
+  EXPECT_LE(capped.attack_impact, exact.attack_impact);
+  EXPECT_LE(capped.attack_success_probability, exact.attack_success_probability);
+  // NoEV counts vulnerabilities on servers, not paths — unaffected by the cap.
+  EXPECT_EQ(capped.exploitable_vulnerabilities, exact.exploitable_vulnerabilities);
+}
+
+TEST(Harm, PathClassesGroupByRoleSignature) {
+  const hm::Harm model = ent::example_network().build_harm();
+  const auto label = [&model](hm::GraphNodeId id) {
+    std::string name = model.graph().name(id);
+    while (!name.empty() && std::isdigit(static_cast<unsigned char>(name.back())) != 0) {
+      name.pop_back();
+    }
+    return name;
+  };
+  const std::vector<hm::PathClass> classes = hm::aggregate_path_classes(model, label);
+
+  // The 3-tier policy yields exactly two role signatures, in canonical
+  // (lexicographic) order, splitting the 8 instance paths 4/4.
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].name(), "dns-web-app-db");
+  EXPECT_EQ(classes[1].name(), "web-app-db");
+  EXPECT_EQ(classes[0].instance_paths, 4u);
+  EXPECT_EQ(classes[1].instance_paths, 4u);
+
+  // Class metrics recompose from the instance paths: success treats members
+  // as independent alternatives, impact takes the worst member.
+  const std::vector<hm::AttackPath> paths = model.attack_paths();
+  for (const hm::PathClass& cls : classes) {
+    double miss = 1.0;
+    double worst = 0.0;
+    for (const hm::AttackPath& path : paths) {
+      if (path.nodes.size() != cls.signature.size()) continue;
+      miss *= 1.0 - path.probability;
+      worst = std::max(worst, path.impact);
+    }
+    EXPECT_NEAR(cls.success_probability, 1.0 - miss, 1e-12);
+    EXPECT_DOUBLE_EQ(cls.max_impact, worst);
+  }
+
+  // Effort-weighted exposure is the linear coupling term; size mismatch throws.
+  const double exposure = hm::weighted_exposure(classes, {0.25, 0.75});
+  EXPECT_NEAR(exposure,
+              0.25 * classes[0].success_probability + 0.75 * classes[1].success_probability,
+              1e-15);
+  EXPECT_THROW((void)hm::weighted_exposure(classes, {1.0}), std::invalid_argument);
 }

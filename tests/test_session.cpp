@@ -660,9 +660,11 @@ TEST(SessionMemoizationAudit, CadenceKeyCanonicalizesAndUsesExactBits) {
 
 TEST(SessionMemoizationAudit, HarmMetricsDependOnDesignCountsAlone) {
   // Pinned by the harm_cache_ comment in session.hpp: the HARM key is the
-  // design's counts array ALONE.  Sound because the patch cadence and the
-  // EngineOptions never reach the HARM layer — so the same design evaluated
-  // at different cadences must produce bit-identical security metrics.
+  // design's counts array ALONE.  Sound because the patch cadence never
+  // reaches the HARM layer and the one EngineOptions field that does (the
+  // harm_paths enumeration cap) is Session-immutable — so the same design
+  // evaluated at different cadences must produce bit-identical security
+  // metrics.
   const core::Session session(core::Scenario::paper_case_study());
   const core::EvalReport monthly = session.evaluate(ent::example_network_design(), 720.0);
   const core::EvalReport weekly = session.evaluate(ent::example_network_design(), 168.0);
